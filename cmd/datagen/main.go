@@ -1,0 +1,88 @@
+// Command datagen writes LUBM-like or WatDiv-like synthetic RDF datasets
+// as N-Triples.
+//
+// Usage:
+//
+//	datagen -benchmark lubm -scale 64 -out lubm64.nt
+//	datagen -benchmark watdiv -scale 10            # writes to stdout
+//	datagen -benchmark lubm -scale 4 -queries      # print the workload
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"parj/internal/lubm"
+	"parj/internal/rdf"
+	"parj/internal/watdiv"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "lubm", "dataset family: lubm or watdiv")
+		scale     = flag.Int("scale", 1, "scale factor (universities for lubm, scale units for watdiv)")
+		out       = flag.String("out", "", "output file (default stdout)")
+		queries   = flag.Bool("queries", false, "print the benchmark's query workload instead of data")
+	)
+	flag.Parse()
+
+	if *queries {
+		printQueries(*benchmark)
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		bw := bufio.NewWriterSize(f, 1<<20)
+		defer bw.Flush()
+		w = bw
+	}
+	nt := rdf.NewWriter(w)
+	n := 0
+	emit := func(t rdf.Triple) {
+		if err := nt.Write(t); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen: write:", err)
+			os.Exit(1)
+		}
+		n++
+	}
+	switch *benchmark {
+	case "lubm":
+		lubm.Generate(*scale, lubm.Config{}, emit)
+	case "watdiv":
+		watdiv.Generate(*scale, watdiv.Config{}, emit)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown benchmark %q (lubm, watdiv)\n", *benchmark)
+		os.Exit(2)
+	}
+	if err := nt.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen: flush:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d triples (%s scale %d)\n", n, *benchmark, *scale)
+}
+
+func printQueries(benchmark string) {
+	switch benchmark {
+	case "lubm":
+		for _, q := range lubm.Queries() {
+			fmt.Printf("# %s\n%s\n\n", q.Name, q.SPARQL)
+		}
+	case "watdiv":
+		for _, q := range watdiv.AllQueries() {
+			fmt.Printf("# %s (%s)\n%s\n\n", q.Name, q.Group, q.SPARQL)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown benchmark %q\n", benchmark)
+		os.Exit(2)
+	}
+}

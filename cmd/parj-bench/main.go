@@ -1,0 +1,74 @@
+// Command parj-bench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	parj-bench -exp table2                 # LUBM engine comparison
+//	parj-bench -exp table3 -watdiv-scale 20
+//	parj-bench -exp table5 -repeats 10
+//	parj-bench -exp all -lubm-scale 32    # everything, smaller LUBM
+//
+// Experiments: table2, table3, table4, table5, table6, fig2, fig3.
+// Scales default to laptop-friendly sizes; the paper's own scales (LUBM
+// 10240, WatDiv 1000) need a large-memory server, exactly as in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"parj/internal/bench"
+)
+
+func main() {
+	var (
+		exp         = flag.String("exp", "", "experiment id or 'all'")
+		lubmScale   = flag.Int("lubm-scale", 64, "LUBM universities")
+		watdivScale = flag.Int("watdiv-scale", 10, "WatDiv scale units")
+		threads     = flag.Int("threads", 0, "multi-thread worker count (0 = 16, simulated if the host has fewer cores)")
+		repeats     = flag.Int("repeats", 3, "timed runs per query")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-query timeout")
+		quiet       = flag.Bool("quiet", false, "suppress per-measurement progress on stderr")
+		format      = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	if *exp == "" {
+		fmt.Fprintf(os.Stderr, "parj-bench: -exp is required (one of %s, or 'all')\n",
+			strings.Join(bench.Experiments(), ", "))
+		os.Exit(2)
+	}
+	cfg := bench.ExpConfig{
+		LUBMScale:   *lubmScale,
+		WatDivScale: *watdivScale,
+		Threads:     *threads,
+		Repeats:     *repeats,
+		Timeout:     *timeout,
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.Experiments()
+	}
+	for _, name := range names {
+		start := time.Now()
+		tab, err := bench.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parj-bench:", err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Print(tab.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(tab.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Second))
+	}
+}

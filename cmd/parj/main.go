@@ -1,0 +1,156 @@
+// Command parj loads an N-Triples file into memory and runs SPARQL queries
+// against it.
+//
+// Usage:
+//
+//	parj -data graph.nt -query 'SELECT ?s WHERE { ?s <p> ?o }'
+//	parj -data graph.nt -queryfile q.rq -threads 8 -strategy adindex
+//	parj -data graph.nt -query '...' -explain
+//	parj -data graph.nt            # REPL: one query per line on stdin
+//
+// With -silent only the result count and timing are printed, matching the
+// measurement mode of the paper's experiments.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"parj"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "N-Triples file to load (required)")
+		queryText = flag.String("query", "", "SPARQL query to run")
+		queryFile = flag.String("queryfile", "", "file containing the SPARQL query")
+		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		strategy  = flag.String("strategy", "adbinary", "probe strategy: binary, adbinary, index, adindex")
+		silent    = flag.Bool("silent", false, "count results without printing rows")
+		explain   = flag.Bool("explain", false, "print the chosen plan instead of executing")
+		noIndex   = flag.Bool("noindex", false, "skip building ID-to-Position indexes")
+		calibrate = flag.Bool("calibrate", false, "run timing calibration for adaptive thresholds")
+		maxRows   = flag.Int("maxrows", 20, "maximum rows to print (0 = all)")
+		saveSnap  = flag.String("savesnapshot", "", "write a binary snapshot after loading (reload it by passing the .snapshot file to -data)")
+		showStats = flag.Bool("stats", false, "print per-predicate table statistics after loading")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "parj: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parj:", err)
+		os.Exit(2)
+	}
+	if strat.NeedsIndex() && *noIndex {
+		fmt.Fprintln(os.Stderr, "parj: -noindex conflicts with an index strategy")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	db, err := parj.LoadFile(*dataPath, parj.LoadOptions{
+		PosIndex:  !*noIndex,
+		Calibrate: *calibrate,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parj: load:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d triples, %d predicates, %d resources in %v (%.1f MB tables)\n",
+		db.NumTriples(), db.NumPredicates(), db.NumResources(),
+		time.Since(start).Round(time.Millisecond), float64(db.MemoryBytes())/(1<<20))
+
+	if *showStats {
+		fmt.Printf("%-60s %10s %10s %10s\n", "predicate", "triples", "subjects", "objects")
+		for _, pi := range db.PredicateInfos() {
+			fmt.Printf("%-60s %10d %10d %10d\n", pi.IRI, pi.Triples, pi.DistinctSubjects, pi.DistinctObjects)
+		}
+	}
+
+	if *saveSnap != "" {
+		if err := db.SaveSnapshotFile(*saveSnap); err != nil {
+			fmt.Fprintln(os.Stderr, "parj: snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *saveSnap)
+	}
+
+	opts := parj.QueryOptions{Threads: *threads, Strategy: strat, Silent: *silent}
+
+	runOne := func(src string) {
+		if *explain {
+			plan, err := db.Explain(src)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "parj:", err)
+				return
+			}
+			fmt.Print(plan)
+			return
+		}
+		qStart := time.Now()
+		res, err := db.Query(src, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parj:", err)
+			return
+		}
+		elapsed := time.Since(qStart)
+		if !*silent {
+			fmt.Println(strings.Join(res.Vars, "\t"))
+			for i, row := range res.Rows {
+				if *maxRows > 0 && i >= *maxRows {
+					fmt.Printf("... (%d more rows)\n", len(res.Rows)-i)
+					break
+				}
+				fmt.Println(strings.Join(row, "\t"))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%d rows in %v (probes: %d sequential, %d binary, %d index)\n",
+			res.Count, elapsed.Round(time.Microsecond),
+			res.ProbeStats.Sequential, res.ProbeStats.Binary, res.ProbeStats.Index)
+	}
+
+	switch {
+	case *queryText != "":
+		runOne(*queryText)
+	case *queryFile != "":
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parj:", err)
+			os.Exit(1)
+		}
+		runOne(string(b))
+	default:
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		fmt.Fprintln(os.Stderr, "enter one SPARQL query per line (empty line quits):")
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				break
+			}
+			runOne(line)
+		}
+	}
+}
+
+func parseStrategy(s string) (parj.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "binary":
+		return parj.BinaryOnly, nil
+	case "adbinary", "":
+		return parj.AdaptiveBinary, nil
+	case "index":
+		return parj.IndexOnly, nil
+	case "adindex":
+		return parj.AdaptiveIndex, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (binary, adbinary, index, adindex)", s)
+	}
+}

@@ -1,0 +1,57 @@
+package parj
+
+import "testing"
+
+func ontologyStore(t *testing.T) *Store {
+	t.Helper()
+	b := NewBuilder(LoadOptions{PosIndex: true})
+	b.Add("<Student>", "<http://www.w3.org/2000/01/rdf-schema#subClassOf>", "<Person>")
+	b.Add("<hasAdvisor>", "<http://www.w3.org/2000/01/rdf-schema#subPropertyOf>", "<knows>")
+	b.Add("<alice>", "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>", "<Student>")
+	b.Add("<bob>", "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>", "<Person>")
+	b.Add("<alice>", "<hasAdvisor>", "<carol>")
+	b.Add("<dave>", "<knows>", "<alice>")
+	return b.Build()
+}
+
+func TestEntailmentOption(t *testing.T) {
+	db := ontologyStore(t)
+	const personQ = `SELECT ?x WHERE { ?x a <Person> }`
+	plain, err := db.Count(personQ, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != 1 {
+		t.Errorf("plain persons = %d, want 1 (bob)", plain)
+	}
+	entailed, err := db.Count(personQ, QueryOptions{Entailment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entailed != 2 {
+		t.Errorf("entailed persons = %d, want 2 (bob + alice via Student)", entailed)
+	}
+
+	const knowsQ = `SELECT ?x ?y WHERE { ?x <knows> ?y }`
+	plain, _ = db.Count(knowsQ, QueryOptions{})
+	entailed, _ = db.Count(knowsQ, QueryOptions{Entailment: true})
+	if plain != 1 || entailed != 2 {
+		t.Errorf("knows: plain=%d (want 1), entailed=%d (want 2)", plain, entailed)
+	}
+}
+
+func TestEntailmentWithoutOntologyIsPlain(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	q := `SELECT ?x ?y WHERE { ?x <knows> ?y }`
+	plain, err := db.Count(q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entailed, err := db.Count(q, QueryOptions{Entailment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != entailed {
+		t.Errorf("no-ontology data: plain=%d entailed=%d", plain, entailed)
+	}
+}

@@ -1,0 +1,101 @@
+package parj_test
+
+import (
+	"fmt"
+
+	"parj"
+)
+
+// Example demonstrates the basic build-and-query cycle.
+func Example() {
+	b := parj.NewBuilder(parj.LoadOptions{})
+	b.Add("<alice>", "<knows>", "<bob>")
+	b.Add("<bob>", "<knows>", "<carol>")
+	db := b.Build()
+
+	res, err := db.Query(`SELECT ?x ?z WHERE { ?x <knows> ?y . ?y <knows> ?z }`,
+		parj.QueryOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row[0], "->", row[1])
+	}
+	// Output: <alice> -> <carol>
+}
+
+// ExampleStore_Count shows the silent counting mode used for measurement.
+func ExampleStore_Count() {
+	b := parj.NewBuilder(parj.LoadOptions{})
+	b.Add("<a>", "<p>", "<b>")
+	b.Add("<a>", "<p>", "<c>")
+	b.Add("<b>", "<p>", "<c>")
+	db := b.Build()
+
+	n, err := db.Count(`SELECT ?s ?o WHERE { ?s <p> ?o }`, parj.QueryOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n)
+	// Output: 3
+}
+
+// ExampleStore_Explain prints the optimizer's plan for a query.
+func ExampleStore_Explain() {
+	b := parj.NewBuilder(parj.LoadOptions{})
+	b.Add("<a>", "<p>", "<b>")
+	db := b.Build()
+
+	plan, err := db.Explain(`SELECT ?x WHERE { ?x <p> <b> }`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(plan)
+	// Output:
+	// plan cost=1.0 card=1.0
+	//   0: ?x <p> <b>  [O-S]
+}
+
+// ExampleStore_QueryStream delivers rows incrementally with bounded memory.
+func ExampleStore_QueryStream() {
+	b := parj.NewBuilder(parj.LoadOptions{})
+	b.Add("<a>", "<p>", "<x>")
+	b.Add("<b>", "<p>", "<y>")
+	db := b.Build()
+
+	n, err := db.QueryStream(`SELECT ?s WHERE { ?s <p> ?o }`, parj.QueryOptions{Threads: 1},
+		func(row []string) bool {
+			fmt.Println(row[0])
+			return true
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("total:", n)
+	// Output:
+	// <a>
+	// <b>
+	// total: 2
+}
+
+// ExampleStore_Prepare reuses a plan across executions.
+func ExampleStore_Prepare() {
+	b := parj.NewBuilder(parj.LoadOptions{})
+	b.Add("<a>", "<p>", "<b>")
+	db := b.Build()
+
+	prep, err := db.Prepare(`SELECT ?x WHERE { ?x <p> ?y }`, false)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 2; i++ {
+		n, err := prep.Count(parj.QueryOptions{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(n)
+	}
+	// Output:
+	// 1
+	// 1
+}

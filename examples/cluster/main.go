@@ -1,0 +1,69 @@
+// Cluster: the paper's §6 cluster extension — full replication, each node
+// processes a disjoint set of shards, no inter-node communication during
+// the join. This demo builds a LUBM-like store, "deploys" it to several
+// replicated nodes, and shows that any node count returns identical
+// results while spreading the rows produced across nodes.
+//
+// Usage: go run ./examples/cluster [-scale N] [-nodes N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"parj/internal/cluster"
+	"parj/internal/core"
+	"parj/internal/lubm"
+	"parj/internal/optimizer"
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+)
+
+func main() {
+	scale := flag.Int("scale", 8, "number of universities")
+	nodes := flag.Int("nodes", 4, "number of replicated nodes")
+	flag.Parse()
+
+	st := store.LoadTriples(lubm.Triples(*scale, lubm.Config{}), store.BuildOptions{BuildPosIndex: true})
+	ss := stats.New(st)
+	fmt.Printf("replicated store: %d triples on %d nodes (full replication)\n\n",
+		st.NumTriples(), *nodes)
+
+	c := cluster.New(st, cluster.Options{
+		Nodes:          *nodes,
+		ThreadsPerNode: 2,
+		Strategy:       core.AdaptiveIndex,
+	})
+
+	for _, q := range lubm.Queries() {
+		parsed, err := sparql.Parse(q.SPARQL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := optimizer.Optimize(parsed, st, ss)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if plan.Distinct || plan.Limit > 0 {
+			continue
+		}
+		single, err := core.Execute(st, plan, core.Options{Threads: 2, Silent: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.Execute(plan, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "OK"
+		if res.Count != single.Count {
+			status = "MISMATCH"
+		}
+		fmt.Printf("%-5s cluster=%8d single=%8d  per-node=%v  %s\n",
+			q.Name, res.Count, single.Count, res.PerNode, status)
+	}
+	fmt.Println("\nEvery node worked on its own shard range of the first relation;")
+	fmt.Println("no data crossed node boundaries until the final gather.")
+}

@@ -1,0 +1,83 @@
+// Ecommerce: generate a WatDiv-like dataset and walk through the query
+// shapes of the paper's Table 3/4 workloads — linear, star, snowflake,
+// complex, and long path queries — showing plans and result sizes.
+//
+// Usage: go run ./examples/ecommerce [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"parj"
+	"parj/internal/rdf"
+	"parj/internal/watdiv"
+)
+
+func main() {
+	scale := flag.Int("scale", 4, "WatDiv scale units")
+	flag.Parse()
+
+	b := parj.NewBuilder(parj.LoadOptions{PosIndex: true})
+	watdiv.Generate(*scale, watdiv.Config{}, func(t rdf.Triple) { b.Add(t.S, t.P, t.O) })
+	db := b.Build()
+	fmt.Printf("loaded %d triples, %d predicates\n\n", db.NumTriples(), db.NumPredicates())
+
+	// One representative per shape class.
+	picks := map[string]string{
+		"L2":     "linear path anchored at a user",
+		"S1":     "nine-pattern star (every attribute of a user)",
+		"F1":     "snowflake: user star joined to a product star",
+		"C3":     "complex: friends liking same-genre products",
+		"IL-3-5": "unbounded 5-hop path (results explode)",
+		"ML-1-7": "7-hop path anchored at the far end",
+	}
+	for _, q := range watdiv.AllQueries() {
+		desc, ok := picks[q.Name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("== %s: %s\n", q.Name, desc)
+		plan, err := db.Explain(q.SPARQL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(plan)
+		start := time.Now()
+		n, err := db.Count(q.SPARQL, parj.QueryOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-> %d rows in %v\n\n", n, time.Since(start).Round(time.Microsecond))
+	}
+
+	// The probe-strategy ablation of Table 5 in miniature: the same path
+	// query under all four strategies.
+	src := ""
+	for _, q := range watdiv.ILQueries() {
+		if q.Name == "IL-3-6" {
+			src = q.SPARQL
+		}
+	}
+	fmt.Println("== probe strategies on IL-3-6 (1 thread)")
+	for _, s := range []struct {
+		name string
+		s    parj.Strategy
+	}{
+		{"Binary  ", parj.BinaryOnly},
+		{"AdBinary", parj.AdaptiveBinary},
+		{"Index   ", parj.IndexOnly},
+		{"AdIndex ", parj.AdaptiveIndex},
+	} {
+		start := time.Now()
+		res, err := db.Query(src, parj.QueryOptions{Threads: 1, Silent: true, Strategy: s.s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s %10v  (probes: %d seq, %d binary, %d index)\n",
+			s.name, time.Since(start).Round(time.Microsecond),
+			res.ProbeStats.Sequential, res.ProbeStats.Binary, res.ProbeStats.Index)
+	}
+}

@@ -1,0 +1,3 @@
+module parj
+
+go 1.22

@@ -1,0 +1,183 @@
+package parj_test
+
+// End-to-end integration tests: generate benchmark data, round-trip it
+// through N-Triples, load it into every engine, and cross-check results —
+// the full pipeline a user of the repository exercises.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"parj"
+	"parj/internal/baseline/hashjoin"
+	"parj/internal/baseline/rdf3x"
+	"parj/internal/baseline/triad"
+	"parj/internal/lubm"
+	"parj/internal/rdf"
+	"parj/internal/sparql"
+	"parj/internal/watdiv"
+)
+
+// TestPipelineLUBM drives generate → serialize → parse → load → query for
+// the LUBM-like workload and cross-checks all engines.
+func TestPipelineLUBM(t *testing.T) {
+	triples := lubm.Triples(2, lubm.Config{})
+
+	// Round-trip through N-Triples bytes, as a user loading a file would.
+	var buf bytes.Buffer
+	w := rdf.NewWriter(&buf)
+	for _, tr := range triples {
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := parj.Load(&buf, parj.LoadOptions{PosIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hj := hashjoin.Load(triples)
+	r3x := rdf3x.Load(triples)
+	tr := triad.Load(triples, triad.Options{Workers: 4})
+
+	if db.NumTriples() != hj.NumTriples() || db.NumTriples() != r3x.NumTriples() ||
+		db.NumTriples() != tr.NumTriples() {
+		t.Fatalf("engines loaded different triple counts: %d %d %d %d",
+			db.NumTriples(), hj.NumTriples(), r3x.NumTriples(), tr.NumTriples())
+	}
+
+	for _, q := range lubm.Queries() {
+		parsed, err := sparql.Parse(q.SPARQL)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		want, err := db.Count(q.SPARQL, parj.QueryOptions{Threads: 3, Strategy: parj.AdaptiveIndex})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		for name, count := range map[string]func() (int64, error){
+			"hashjoin": func() (int64, error) { return hj.Count(parsed) },
+			"rdf3x":    func() (int64, error) { return r3x.Count(parsed) },
+			"triad":    func() (int64, error) { return tr.Count(parsed) },
+		} {
+			got, err := count()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", q.Name, name, err)
+			}
+			if got != want {
+				t.Errorf("%s: %s count %d != parj %d", q.Name, name, got, want)
+			}
+		}
+	}
+}
+
+// TestPipelineWatDiv cross-checks the full WatDiv workload between PARJ
+// strategies and the triad baseline (the fastest competitor).
+func TestPipelineWatDiv(t *testing.T) {
+	triples := watdiv.Triples(1, watdiv.Config{})
+	b := parj.NewBuilder(parj.LoadOptions{PosIndex: true})
+	for _, tr := range triples {
+		b.Add(tr.S, tr.P, tr.O)
+	}
+	db := b.Build()
+	tri := triad.Load(triples, triad.Options{Workers: 3, SummaryBuckets: 32})
+
+	for _, q := range watdiv.AllQueries() {
+		parsed, err := sparql.Parse(q.SPARQL)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		base, err := db.Count(q.SPARQL, parj.QueryOptions{Threads: 1, Strategy: parj.AdaptiveBinary})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		multi, err := db.Count(q.SPARQL, parj.QueryOptions{Threads: 5, Strategy: parj.IndexOnly})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		tc, err := tri.Count(parsed)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if base != multi || base != tc {
+			t.Errorf("%s: counts diverge: 1-thread=%d 5-thread-index=%d triad-sg=%d",
+				q.Name, base, multi, tc)
+		}
+	}
+}
+
+// TestSnapshotPreservesQueryResults loads LUBM data, snapshots it, reloads,
+// and verifies every workload query returns identical results.
+func TestSnapshotPreservesQueryResults(t *testing.T) {
+	b := parj.NewBuilder(parj.LoadOptions{PosIndex: true})
+	lubm.Generate(1, lubm.Config{}, func(tr rdf.Triple) { b.Add(tr.S, tr.P, tr.O) })
+	db := b.Build()
+
+	var snap bytes.Buffer
+	if err := db.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := parj.LoadSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range lubm.Queries() {
+		a, err := db.Query(q.SPARQL, parj.QueryOptions{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := db2.Query(q.SPARQL, parj.QueryOptions{Threads: 2, Strategy: parj.AdaptiveIndex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Count != b.Count {
+			t.Errorf("%s: %d rows before snapshot, %d after", q.Name, a.Count, b.Count)
+		}
+	}
+}
+
+// TestStreamingMatchesBufferedOnWorkload compares QueryStream against Query
+// on the WatDiv basic workload.
+func TestStreamingMatchesBufferedOnWorkload(t *testing.T) {
+	b := parj.NewBuilder(parj.LoadOptions{})
+	for _, tr := range watdiv.Triples(1, watdiv.Config{}) {
+		b.Add(tr.S, tr.P, tr.O)
+	}
+	db := b.Build()
+	for _, q := range watdiv.BasicQueries() {
+		parsed, err := sparql.Parse(q.SPARQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed.Distinct || parsed.Limit > 0 {
+			continue
+		}
+		res, err := db.Query(q.SPARQL, parj.QueryOptions{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]int{}
+		n, err := db.QueryStream(q.SPARQL, parj.QueryOptions{Threads: 2}, func(row []string) bool {
+			seen[fmt.Sprint(row)]++
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if n != res.Count {
+			t.Errorf("%s: streamed %d rows, buffered %d", q.Name, n, res.Count)
+		}
+		want := map[string]int{}
+		for _, row := range res.Rows {
+			want[fmt.Sprint(row)]++
+		}
+		if !reflect.DeepEqual(seen, want) {
+			t.Errorf("%s: streamed row multiset differs", q.Name)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package btree implements a static, bulk-loaded, clustered B+ tree over
+// triple keys with fixed-size pages. It is the storage substrate of the
+// RDF-3X-like baseline: RDF-3X keeps all six triple permutations in
+// clustered B+ trees and its processing is organized around disk pages even
+// when the data is RAM-resident — the property the paper's single-thread
+// comparison exercises. Page reads are counted so experiments can report
+// page-touch behavior.
+package btree
+
+import "fmt"
+
+// Key is a triple in some permutation order.
+type Key [3]uint32
+
+// Less reports lexicographic order.
+func (k Key) Less(other Key) bool {
+	for i := 0; i < 3; i++ {
+		if k[i] != other[i] {
+			return k[i] < other[i]
+		}
+	}
+	return false
+}
+
+// DefaultPageSize is the number of keys per page. With 12-byte keys this
+// approximates RDF-3X's 16 KiB pages (uncompressed).
+const DefaultPageSize = 1024
+
+// Tree is an immutable clustered B+ tree. Concurrent readers are safe as
+// long as they use separate Cursors and the shared page-read counter is
+// accepted to be approximate; the baseline engines are single-threaded.
+type Tree struct {
+	pageSize int
+	// leaves[i] is the i-th leaf page, holding sorted keys.
+	leaves [][]Key
+	// levels[0] is the parents of the leaves, levels[len-1] is the root.
+	// Each node stores the first key of each of its children; node i at
+	// level l covers children [i*pageSize, (i+1)*pageSize) of level l-1.
+	levels [][]Key
+
+	pageReads uint64
+}
+
+// BulkLoad builds a tree from sorted, distinct keys. pageSize 0 selects
+// DefaultPageSize.
+func BulkLoad(sorted []Key, pageSize int) *Tree {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < 2 {
+		panic(fmt.Sprintf("btree: page size %d too small", pageSize))
+	}
+	t := &Tree{pageSize: pageSize}
+	for i := 1; i < len(sorted); i++ {
+		if !sorted[i-1].Less(sorted[i]) {
+			panic("btree: keys not sorted/distinct")
+		}
+	}
+	for start := 0; start < len(sorted); start += pageSize {
+		end := start + pageSize
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		page := make([]Key, end-start)
+		copy(page, sorted[start:end])
+		t.leaves = append(t.leaves, page)
+	}
+	// Build internal levels bottom-up until one node remains.
+	child := make([]Key, len(t.leaves))
+	for i, p := range t.leaves {
+		child[i] = p[0]
+	}
+	for len(child) > 1 {
+		var level []Key
+		level = append(level, child...)
+		t.levels = append(t.levels, level)
+		parents := (len(child) + pageSize - 1) / pageSize
+		next := make([]Key, parents)
+		for i := 0; i < parents; i++ {
+			next[i] = child[i*pageSize]
+		}
+		child = next
+	}
+	return t
+}
+
+// Len reports the number of keys.
+func (t *Tree) Len() int {
+	if len(t.leaves) == 0 {
+		return 0
+	}
+	return (len(t.leaves)-1)*t.pageSize + len(t.leaves[len(t.leaves)-1])
+}
+
+// PageReads returns the number of page accesses performed so far.
+func (t *Tree) PageReads() uint64 { return t.pageReads }
+
+// ResetPageReads clears the page-access counter.
+func (t *Tree) ResetPageReads() { t.pageReads = 0 }
+
+// Height reports the number of levels (leaves excluded).
+func (t *Tree) Height() int { return len(t.levels) }
+
+// Cursor iterates keys in order from a seek position. The zero value is
+// invalid; obtain cursors from Seek.
+type Cursor struct {
+	t    *Tree
+	page int
+	idx  int
+}
+
+// Seek positions a cursor at the first key >= lower, descending from the
+// root and charging one page read per node visited.
+func (t *Tree) Seek(lower Key) Cursor {
+	if len(t.leaves) == 0 {
+		return Cursor{t: t, page: 0, idx: 0}
+	}
+	// Descend from the top internal level, narrowing to a child index.
+	childIdx := 0
+	for l := len(t.levels) - 1; l >= 0; l-- {
+		level := t.levels[l]
+		lo := childIdx * t.pageSize
+		hi := lo + t.pageSize
+		if hi > len(level) {
+			hi = len(level)
+		}
+		t.pageReads++
+		// Find the last entry <= lower within [lo, hi): one before the
+		// first entry strictly greater than lower.
+		childIdx = lo + upperBound(level[lo:hi], lower) - 1
+		if childIdx < lo {
+			childIdx = lo
+		}
+	}
+	t.pageReads++
+	c := Cursor{t: t, page: childIdx}
+	page := t.leaves[childIdx]
+	c.idx = lowerBound(page, lower)
+	if c.idx == len(page) {
+		c.page++
+		c.idx = 0
+		if c.page < len(t.leaves) {
+			t.pageReads++
+		}
+	}
+	return c
+}
+
+// upperBound returns the index of the first key strictly greater than k.
+func upperBound(page []Key, k Key) int {
+	lo, hi := 0, len(page)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if k.Less(page[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func lowerBound(page []Key, k Key) int {
+	lo, hi := 0, len(page)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if page[mid].Less(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Valid reports whether the cursor points at a key.
+func (c *Cursor) Valid() bool {
+	return c.page < len(c.t.leaves) && c.idx < len(c.t.leaves[c.page])
+}
+
+// Key returns the current key. The cursor must be Valid.
+func (c *Cursor) Key() Key { return c.t.leaves[c.page][c.idx] }
+
+// Next advances to the following key, charging a page read on page
+// boundaries.
+func (c *Cursor) Next() {
+	c.idx++
+	if c.idx >= len(c.t.leaves[c.page]) {
+		c.page++
+		c.idx = 0
+		if c.page < len(c.t.leaves) {
+			c.t.pageReads++
+		}
+	}
+}
+
+// SeekForward advances the cursor to the first key >= lower without a full
+// root descent when the target is nearby — the page-granularity "sideways
+// information passing" skip of RDF-3X: if the target is beyond the current
+// page's range, skip whole pages using their first keys.
+func (c *Cursor) SeekForward(lower Key) {
+	if !c.Valid() {
+		return
+	}
+	if lower.Less(c.Key()) || lower == c.Key() {
+		return // already at or past lower
+	}
+	// Skip whole pages whose successor page still starts <= lower.
+	for c.page+1 < len(c.t.leaves) {
+		next := c.t.leaves[c.page+1]
+		if next[0].Less(lower) || next[0] == lower {
+			c.page++
+			c.idx = 0
+			c.t.pageReads++
+			continue
+		}
+		break
+	}
+	page := c.t.leaves[c.page]
+	c.idx = lowerBound(page[c.idx:], lower) + c.idx
+	if c.idx >= len(page) {
+		c.page++
+		c.idx = 0
+		if c.page < len(c.t.leaves) {
+			c.t.pageReads++
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomKeys(rng *rand.Rand, n int) []Key {
+	seen := map[Key]bool{}
+	for len(seen) < n {
+		seen[Key{uint32(rng.Intn(100)), uint32(rng.Intn(100)), uint32(rng.Intn(100))}] = true
+	}
+	keys := make([]Key, 0, n)
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	return keys
+}
+
+func collect(t *Tree, lower Key, limit int) []Key {
+	var out []Key
+	for c := t.Seek(lower); c.Valid() && len(out) < limit; c.Next() {
+		out = append(out, c.Key())
+	}
+	return out
+}
+
+func TestBulkLoadAndFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, pageSize := range []int{2, 7, 64, 1024} {
+		keys := randomKeys(rng, 500)
+		tr := BulkLoad(keys, pageSize)
+		if tr.Len() != len(keys) {
+			t.Fatalf("pageSize %d: Len = %d, want %d", pageSize, tr.Len(), len(keys))
+		}
+		got := collect(tr, Key{}, len(keys)+1)
+		if len(got) != len(keys) {
+			t.Fatalf("pageSize %d: scan found %d keys, want %d", pageSize, len(got), len(keys))
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("pageSize %d: key %d = %v, want %v", pageSize, i, got[i], keys[i])
+			}
+		}
+	}
+}
+
+func TestSeekSemantics(t *testing.T) {
+	keys := []Key{{1, 0, 0}, {1, 5, 2}, {3, 0, 0}, {3, 0, 9}, {7, 7, 7}}
+	tr := BulkLoad(keys, 2)
+	cases := []struct {
+		lower Key
+		want  Key
+		valid bool
+	}{
+		{Key{0, 0, 0}, Key{1, 0, 0}, true},
+		{Key{1, 0, 0}, Key{1, 0, 0}, true},
+		{Key{1, 0, 1}, Key{1, 5, 2}, true},
+		{Key{3, 0, 0}, Key{3, 0, 0}, true},
+		{Key{4, 0, 0}, Key{7, 7, 7}, true},
+		{Key{7, 7, 8}, Key{}, false},
+	}
+	for _, c := range cases {
+		cur := tr.Seek(c.lower)
+		if cur.Valid() != c.valid {
+			t.Fatalf("Seek(%v).Valid = %v, want %v", c.lower, cur.Valid(), c.valid)
+		}
+		if c.valid && cur.Key() != c.want {
+			t.Errorf("Seek(%v) = %v, want %v", c.lower, cur.Key(), c.want)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := BulkLoad(nil, 16)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if c := tr.Seek(Key{1, 2, 3}); c.Valid() {
+		t.Error("Seek on empty tree is Valid")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		keys []Key
+		page int
+	}{
+		{"unsorted", []Key{{2, 0, 0}, {1, 0, 0}}, 16},
+		{"duplicate", []Key{{1, 0, 0}, {1, 0, 0}}, 16},
+		{"tiny page", []Key{{1, 0, 0}}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			BulkLoad(tc.keys, tc.page)
+		})
+	}
+}
+
+func TestSeekForward(t *testing.T) {
+	var keys []Key
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, Key{uint32(i), 0, 0})
+	}
+	tr := BulkLoad(keys, 16)
+	c := tr.Seek(Key{0, 0, 0})
+	c.SeekForward(Key{500, 0, 0})
+	if !c.Valid() || c.Key() != (Key{500, 0, 0}) {
+		t.Fatalf("SeekForward landed on %v", c.Key())
+	}
+	// Backwards request is a no-op.
+	c.SeekForward(Key{100, 0, 0})
+	if c.Key() != (Key{500, 0, 0}) {
+		t.Errorf("backward SeekForward moved to %v", c.Key())
+	}
+	// Beyond the end invalidates.
+	c.SeekForward(Key{2000, 0, 0})
+	if c.Valid() {
+		t.Error("SeekForward beyond end still Valid")
+	}
+}
+
+func TestPageReadAccounting(t *testing.T) {
+	var keys []Key
+	for i := 0; i < 10000; i++ {
+		keys = append(keys, Key{uint32(i), 0, 0})
+	}
+	tr := BulkLoad(keys, 64)
+	tr.ResetPageReads()
+	tr.Seek(Key{5000, 0, 0})
+	perSeek := tr.PageReads()
+	if perSeek == 0 || perSeek > uint64(tr.Height()+2) {
+		t.Errorf("Seek touched %d pages, want ~height %d", perSeek, tr.Height()+1)
+	}
+	// A sequential scan touches each leaf page once.
+	tr.ResetPageReads()
+	for c := tr.Seek(Key{}); c.Valid(); c.Next() {
+	}
+	leafPages := uint64((10000 + 63) / 64)
+	if got := tr.PageReads(); got < leafPages || got > leafPages+uint64(tr.Height())+2 {
+		t.Errorf("full scan touched %d pages, want about %d", got, leafPages)
+	}
+}
+
+// Property: Seek(lower) always lands on the first key >= lower, and
+// iteration from it yields exactly the sorted suffix.
+func TestQuickSeekEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys := randomKeys(rng, 1+rng.Intn(400))
+		pageSizes := []int{2, 3, 16, 128}
+		tr := BulkLoad(keys, pageSizes[rng.Intn(len(pageSizes))])
+		for trial := 0; trial < 50; trial++ {
+			lower := Key{uint32(rng.Intn(102)), uint32(rng.Intn(102)), uint32(rng.Intn(102))}
+			i := sort.Search(len(keys), func(i int) bool { return !keys[i].Less(lower) })
+			c := tr.Seek(lower)
+			if i == len(keys) {
+				if c.Valid() {
+					return false
+				}
+				continue
+			}
+			if !c.Valid() || c.Key() != keys[i] {
+				return false
+			}
+			// SeekForward must agree with a fresh Seek for any target
+			// beyond the current position.
+			target := Key{lower[0] + uint32(rng.Intn(5)), uint32(rng.Intn(102)), uint32(rng.Intn(102))}
+			j := sort.Search(len(keys), func(i int) bool { return !keys[i].Less(target) })
+			if j >= i && j > 0 { // only forward targets
+				c.SeekForward(target)
+				if j == len(keys) {
+					if c.Valid() {
+						return false
+					}
+				} else if j >= i {
+					if !c.Valid() || c.Key() != keys[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

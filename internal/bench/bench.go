@@ -1,0 +1,374 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§5): it builds the workload datasets,
+// runs each query on each engine, and formats rows the way the paper's
+// tables report them (per-query times plus Avg and Geomean summary lines).
+//
+// Absolute milliseconds will differ from the paper's 16-core Xeon; the
+// harness is about the comparative shape — which engine wins, by what
+// rough factor, and where the crossovers are.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"parj/internal/sparql"
+)
+
+// Engine is anything the harness can time: it evaluates a parsed query in
+// silent mode and returns the result count.
+type Engine interface {
+	Name() string
+	Count(q *sparql.Query) (int64, error)
+}
+
+// TimedEngine is an Engine that reports its own elapsed time. Engines
+// implement it when wall clock on the current host is not the right
+// measurement — e.g. engines that *simulate* an N-core run on a host with
+// fewer cores by timing independent work units sequentially and reporting
+// what a fully parallel machine would observe.
+type TimedEngine interface {
+	Engine
+	CountTimed(q *sparql.Query) (int64, time.Duration, error)
+}
+
+// NamedQuery pairs a query with its display name and summary group.
+type NamedQuery struct {
+	Name   string
+	Group  string // queries with the same group share Avg/Geomean lines
+	SPARQL string
+}
+
+// RunConfig controls measurement.
+type RunConfig struct {
+	// Repeats is the number of timed runs per query (after one warmup);
+	// the paper uses 10, the default here is 3.
+	Repeats int
+	// Timeout bounds a single query execution; engines that exceed it get
+	// a "timeout" cell. The paper used 30 minutes; default 2 minutes.
+	Timeout time.Duration
+	// Progress, when non-nil, receives one line per (query, engine) pair.
+	Progress func(format string, args ...any)
+	// SkipConsistency disables the cross-engine result-count check, for
+	// matrices whose columns legitimately see different data (e.g. the
+	// dataset-size sweep of Figure 3).
+	SkipConsistency bool
+}
+
+func (c *RunConfig) fill() {
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+}
+
+// Table is a formatted result grid.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// CSV renders the table as comma-separated values (header + rows), for
+// plotting the figures the paper draws from this data.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("# " + t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if i == 0 {
+				sb.WriteString(c)
+				sb.WriteString(strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 2 * (len(t.Header) - 1)
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// cell is one measurement.
+type cell struct {
+	ms    float64
+	note  string // "timeout", "error: ...", "" for ok
+	count int64
+}
+
+// RunMatrix measures every query on every engine and assembles a
+// paper-style table: one row per query, Avg and Geomean rows per group,
+// and a result-count consistency check across engines (mismatching counts
+// are flagged with '!').
+func RunMatrix(title string, queries []NamedQuery, engines []Engine, cfg RunConfig) *Table {
+	cfg.fill()
+	t := &Table{Title: title, Header: append([]string{"Query"}, engineNames(engines)...)}
+	grid := make([][]cell, len(queries))
+	// After an engine times out within a group, skip its remaining queries
+	// in that group: a timed-out run cannot be cancelled (it finishes in
+	// the background), so piling more onto it would distort the machine
+	// and risk exhausting memory. Workload groups order queries by
+	// difficulty, so the skipped ones would time out too.
+	dead := make(map[string]bool)
+	for qi, nq := range queries {
+		q, err := sparql.Parse(nq.SPARQL)
+		if err != nil {
+			panic(fmt.Sprintf("bench: query %s does not parse: %v", nq.Name, err))
+		}
+		grid[qi] = make([]cell, len(engines))
+		for ei, e := range engines {
+			key := e.Name() + "\x00" + nq.Group
+			if dead[key] {
+				grid[qi][ei] = cell{note: "skipped"}
+				continue
+			}
+			grid[qi][ei] = measure(e, q, cfg)
+			if grid[qi][ei].note == "timeout" {
+				dead[key] = true
+			}
+			if cfg.Progress != nil {
+				c := grid[qi][ei]
+				cfg.Progress("%-9s %-14s %10.2f ms  %s", nq.Name, e.Name(), c.ms, c.note)
+			}
+		}
+	}
+
+	// Consistency: every engine that completed must report the same count.
+	mismatch := make([]bool, len(queries))
+	if !cfg.SkipConsistency {
+		for qi := range queries {
+			ref := int64(-1)
+			for _, c := range grid[qi] {
+				if c.note != "" {
+					continue
+				}
+				if ref == -1 {
+					ref = c.count
+				} else if c.count != ref {
+					mismatch[qi] = true
+				}
+			}
+		}
+	}
+
+	flushGroup := func(group string, idxs []int) {
+		if len(idxs) == 0 {
+			return
+		}
+		for _, qi := range idxs {
+			row := []string{queries[qi].Name}
+			for _, c := range grid[qi] {
+				row = append(row, c.render(mismatch[qi]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		if len(idxs) > 1 {
+			prefix := ""
+			if group != "" {
+				prefix = group + " "
+			}
+			avg := []string{prefix + "Avg"}
+			geo := []string{prefix + "Geomean"}
+			for ei := range engines {
+				var ok []float64
+				incomplete := false
+				for _, qi := range idxs {
+					c := grid[qi][ei]
+					if c.note == "" {
+						ok = append(ok, c.ms)
+					} else {
+						incomplete = true
+					}
+				}
+				avg = append(avg, summarize(mean(ok), len(ok) > 0, incomplete))
+				geo = append(geo, summarize(geomean(ok), len(ok) > 0, incomplete))
+			}
+			t.Rows = append(t.Rows, avg, geo)
+		}
+	}
+	var idxs []int
+	curGroup := ""
+	for qi, nq := range queries {
+		if nq.Group != curGroup && len(idxs) > 0 {
+			flushGroup(curGroup, idxs)
+			idxs = idxs[:0]
+		}
+		curGroup = nq.Group
+		idxs = append(idxs, qi)
+	}
+	flushGroup(curGroup, idxs)
+	return t
+}
+
+func engineNames(engines []Engine) []string {
+	out := make([]string, len(engines))
+	for i, e := range engines {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+func (c cell) render(mismatch bool) string {
+	if c.note != "" {
+		return c.note
+	}
+	flag := ""
+	if mismatch {
+		flag = "!"
+	}
+	switch {
+	case c.ms >= 100:
+		return fmt.Sprintf("%.0f%s", c.ms, flag)
+	case c.ms >= 1:
+		return fmt.Sprintf("%.1f%s", c.ms, flag)
+	default:
+		return fmt.Sprintf("%.2f%s", c.ms, flag)
+	}
+}
+
+func summarize(v float64, any, incomplete bool) string {
+	if !any {
+		return "-"
+	}
+	s := fmt.Sprintf("%.1f", v)
+	if incomplete {
+		s += "*" // some queries missing from the summary
+	}
+	return s
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x < 0.01 {
+			x = 0.01 // clamp sub-10µs times so the log stays finite
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// measure times cfg.Repeats runs of q on e after one warmup.
+func measure(e Engine, q *sparql.Query, cfg RunConfig) cell {
+	type outcome struct {
+		count int64
+		err   error
+		ms    float64
+	}
+	run := func() outcome {
+		if te, ok := e.(TimedEngine); ok {
+			n, elapsed, err := te.CountTimed(q)
+			return outcome{count: n, err: err, ms: float64(elapsed.Microseconds()) / 1000}
+		}
+		start := time.Now()
+		n, err := e.Count(q)
+		return outcome{count: n, err: err, ms: float64(time.Since(start).Microseconds()) / 1000}
+	}
+	// Each run (including the warmup) is guarded by the timeout. A timed
+	// out engine leaves a goroutine running to completion; the harness
+	// reports the cell and moves on, as the paper does with its 30-minute
+	// timeout entries.
+	guarded := func() (outcome, bool) {
+		ch := make(chan outcome, 1)
+		go func() { ch <- run() }()
+		select {
+		case o := <-ch:
+			return o, true
+		case <-time.After(cfg.Timeout):
+			return outcome{}, false
+		}
+	}
+	o, ok := guarded() // warmup
+	if !ok {
+		return cell{note: "timeout"}
+	}
+	if o.err != nil {
+		return cell{note: "error: " + o.err.Error()}
+	}
+	count := o.count
+	var times []float64
+	for i := 0; i < cfg.Repeats; i++ {
+		o, ok := guarded()
+		if !ok {
+			return cell{note: "timeout"}
+		}
+		if o.err != nil {
+			return cell{note: "error: " + o.err.Error()}
+		}
+		times = append(times, o.ms)
+	}
+	sort.Float64s(times)
+	return cell{ms: mean(times), count: count}
+}

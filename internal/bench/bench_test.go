@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"parj/internal/sparql"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() ExpConfig {
+	return ExpConfig{
+		LUBMScale:   1,
+		WatDivScale: 1,
+		Threads:     2,
+		Repeats:     1,
+		Timeout:     30 * time.Second,
+	}
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	for _, name := range Experiments() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tab, err := Run(name, tinyConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := tab.String()
+			if len(out) < 100 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+			if strings.Contains(out, "error:") {
+				t.Errorf("experiment reported errors:\n%s", out)
+			}
+			if strings.Contains(out, "!") {
+				t.Errorf("engines disagreed on result counts:\n%s", out)
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("table99", tinyConfig()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"Query", "A", "B"},
+		Rows:   [][]string{{"Q1", "1.0", "2.0"}, {"Q2", "300", "4.5"}},
+	}
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "Query") {
+		t.Errorf("header line = %q", lines[1])
+	}
+}
+
+func TestGeomeanClampsZeros(t *testing.T) {
+	g := geomean([]float64{0, 100})
+	if g <= 0 {
+		t.Errorf("geomean = %f", g)
+	}
+}
+
+func TestMeasureTimeout(t *testing.T) {
+	slow := namedEngine{"slow", func(q *sparql.Query) (int64, error) {
+		time.Sleep(500 * time.Millisecond)
+		return 0, nil
+	}}
+	q, _ := sparql.Parse(`SELECT ?x WHERE { ?x <p> ?y }`)
+	c := measure(slow, q, RunConfig{Repeats: 1, Timeout: 50 * time.Millisecond})
+	if c.note != "timeout" {
+		t.Errorf("note = %q, want timeout", c.note)
+	}
+}
+
+func TestRunMatrixFlagsCountMismatch(t *testing.T) {
+	a := namedEngine{"A", func(q *sparql.Query) (int64, error) { return 1, nil }}
+	b := namedEngine{"B", func(q *sparql.Query) (int64, error) { return 2, nil }}
+	tab := RunMatrix("t", []NamedQuery{{Name: "Q", Group: "g", SPARQL: `SELECT ?x WHERE { ?x <p> ?y }`}},
+		[]Engine{a, b}, RunConfig{Repeats: 1, Timeout: time.Second})
+	if !strings.Contains(tab.String(), "!") {
+		t.Errorf("mismatch not flagged:\n%s", tab)
+	}
+}
+
+func TestGroupSummaryRows(t *testing.T) {
+	e := namedEngine{"E", func(q *sparql.Query) (int64, error) { return 0, nil }}
+	qs := []NamedQuery{
+		{Name: "A1", Group: "A", SPARQL: `SELECT ?x WHERE { ?x <p> ?y }`},
+		{Name: "A2", Group: "A", SPARQL: `SELECT ?x WHERE { ?x <p> ?y }`},
+		{Name: "B1", Group: "B", SPARQL: `SELECT ?x WHERE { ?x <p> ?y }`},
+		{Name: "B2", Group: "B", SPARQL: `SELECT ?x WHERE { ?x <p> ?y }`},
+	}
+	tab := RunMatrix("t", qs, []Engine{e}, RunConfig{Repeats: 1, Timeout: time.Second})
+	out := tab.String()
+	for _, want := range []string{"A Avg", "A Geomean", "B Avg", "B Geomean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"Query", "A"},
+		Rows:   [][]string{{"Q1", "1.0"}, {"Q,2", `va"l`}},
+	}
+	got := tab.CSV()
+	want := "# demo\nQuery,A\nQ1,1.0\n\"Q,2\",\"va\"\"l\"\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"parj/internal/baseline/hashjoin"
+	"parj/internal/baseline/rdf3x"
+	"parj/internal/baseline/triad"
+	"parj/internal/core"
+	"parj/internal/optimizer"
+	"parj/internal/rdf"
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+)
+
+// Dataset bundles one generated workload with every engine's loaded form.
+// Engines are built lazily so experiments that only need PARJ don't pay for
+// the baselines.
+type Dataset struct {
+	Triples []rdf.Triple
+
+	store      *store.Store
+	storeStats *stats.Stats
+
+	hash  *hashjoin.Engine
+	r3x   *rdf3x.Engine
+	triad map[int]*triad.Engine // keyed by summary buckets (0 = plain)
+
+	triadWorkers int
+}
+
+// NewDataset wraps generated triples.
+func NewDataset(triples []rdf.Triple, triadWorkers int) *Dataset {
+	return &Dataset{Triples: triples, triadWorkers: triadWorkers}
+}
+
+// Store returns the PARJ store (built with ID-to-Position indexes so all
+// four strategies are available).
+func (d *Dataset) Store() (*store.Store, *stats.Stats) {
+	if d.store == nil {
+		d.store = store.LoadTriples(d.Triples, store.BuildOptions{BuildPosIndex: true})
+		d.storeStats = stats.New(d.store)
+	}
+	return d.store, d.storeStats
+}
+
+// PARJ returns a PARJ engine with the given thread count and strategy.
+// When the requested thread count exceeds the host's cores (threads 0
+// resolves to GOMAXPROCS, which never does), the engine measures its
+// shards sequentially and reports the simulated N-core elapsed time —
+// valid because PARJ workers are communication-free, so a real N-core run
+// takes as long as its slowest shard.
+func (d *Dataset) PARJ(name string, threads int, strategy core.Strategy) Engine {
+	st, ss := d.Store()
+	simulate := threads > runtime.NumCPU()
+	return &parjEngine{name: name, st: st, stats: ss, simulate: simulate, opts: core.Options{
+		Threads:       threads,
+		Strategy:      strategy,
+		Silent:        true,
+		MeasureShards: simulate,
+	}}
+}
+
+// HashJoin returns the RDFox-like single-threaded baseline.
+func (d *Dataset) HashJoin() Engine {
+	if d.hash == nil {
+		d.hash = hashjoin.Load(d.Triples)
+	}
+	return namedEngine{"HashJoin-1", func(q *sparql.Query) (int64, error) { return d.hash.Count(q) }}
+}
+
+// RDF3X returns the RDF-3X-like single-threaded baseline.
+func (d *Dataset) RDF3X() Engine {
+	if d.r3x == nil {
+		d.r3x = rdf3x.Load(d.Triples)
+	}
+	return namedEngine{"BTree6-1", func(q *sparql.Query) (int64, error) { return d.r3x.Count(q) }}
+}
+
+// TriAD returns the TriAD-like distributed baseline; buckets > 0 selects
+// the summary-graph (SG) mode. On hosts with fewer cores than the worker
+// count, phases run sequentially and the engine reports the simulated
+// parallel elapsed time (each barrier phase costs its slowest worker).
+func (d *Dataset) TriAD(buckets int) Engine {
+	if d.triad == nil {
+		d.triad = map[int]*triad.Engine{}
+	}
+	workers := d.triadWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	simulate := workers > runtime.NumCPU()
+	if d.triad[buckets] == nil {
+		d.triad[buckets] = triad.Load(d.Triples, triad.Options{
+			Workers:          workers,
+			SummaryBuckets:   buckets,
+			SimulateParallel: simulate,
+		})
+	}
+	e := d.triad[buckets]
+	name := "MsgJoin"
+	if buckets > 0 {
+		name = "MsgJoin-SG"
+	}
+	return &triadEngine{name: name, e: e, simulate: simulate}
+}
+
+type triadEngine struct {
+	name     string
+	e        *triad.Engine
+	simulate bool
+}
+
+func (t *triadEngine) Name() string { return t.name }
+
+func (t *triadEngine) Count(q *sparql.Query) (int64, error) { return t.e.Count(q) }
+
+// CountTimed reports the simulated parallel elapsed time: wall clock minus
+// the per-phase worker time a real cluster would overlap away.
+func (t *triadEngine) CountTimed(q *sparql.Query) (int64, time.Duration, error) {
+	start := time.Now()
+	n, err := t.e.Count(q)
+	wall := time.Since(start)
+	if t.simulate {
+		wall -= t.e.SerialExcess()
+		if wall < 0 {
+			wall = 0
+		}
+	}
+	return n, wall, err
+}
+
+type parjEngine struct {
+	name     string
+	st       *store.Store
+	stats    *stats.Stats
+	opts     core.Options
+	simulate bool
+}
+
+func (e *parjEngine) Name() string { return e.name }
+
+func (e *parjEngine) Count(q *sparql.Query) (int64, error) {
+	n, _, err := e.CountTimed(q)
+	return n, err
+}
+
+// CountTimed includes query optimization in the elapsed time, as the paper
+// does. Under simulation the shard execution portion is replaced by the
+// slowest shard's time; planning and result merging stay serial.
+func (e *parjEngine) CountTimed(q *sparql.Query) (int64, time.Duration, error) {
+	start := time.Now()
+	plan, err := optimizer.Optimize(q, e.st, e.stats)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := core.Execute(e.st, plan, e.opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	wall := time.Since(start)
+	if e.simulate {
+		wall -= res.SumShardTime() - res.MaxShardTime()
+		if wall < 0 {
+			wall = 0
+		}
+	}
+	return res.Count, wall, nil
+}
+
+type namedEngine struct {
+	name string
+	fn   func(q *sparql.Query) (int64, error)
+}
+
+func (e namedEngine) Name() string                          { return e.name }
+func (e namedEngine) Count(q *sparql.Query) (int64, error) { return e.fn(q) }

@@ -1,0 +1,409 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"parj/internal/cachesim"
+	"parj/internal/core"
+	"parj/internal/lubm"
+	"parj/internal/optimizer"
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+	"parj/internal/watdiv"
+)
+
+// ExpConfig parameterizes experiment runs. Zero values select defaults
+// sized for a laptop (minutes, not hours).
+type ExpConfig struct {
+	// LUBMScale is the number of universities (paper: 10240; default 64,
+	// about 0.5M triples).
+	LUBMScale int
+	// WatDivScale is the WatDiv scale units (paper: 1000; default 10,
+	// about 55k triples; Table 4's unbounded IL-3 family grows explosively
+	// with this).
+	WatDivScale int
+	// Threads is PARJ's multi-thread worker count and the TriAD-like
+	// engine's worker count (paper: 32 and 16; default 16). On hosts with
+	// fewer cores, the multi-thread engines report simulated parallel
+	// elapsed times (see Dataset.PARJ / Dataset.TriAD).
+	Threads int
+	// Repeats and Timeout feed RunConfig.
+	Repeats int
+	Timeout time.Duration
+	// Progress receives per-measurement log lines.
+	Progress func(format string, args ...any)
+}
+
+func (c *ExpConfig) fill() {
+	if c.LUBMScale <= 0 {
+		c.LUBMScale = 64
+	}
+	if c.WatDivScale <= 0 {
+		c.WatDivScale = 10
+	}
+	if c.Threads <= 0 {
+		c.Threads = 16
+	}
+}
+
+func (c *ExpConfig) run() RunConfig {
+	return RunConfig{Repeats: c.Repeats, Timeout: c.Timeout, Progress: c.Progress}
+}
+
+func (c *ExpConfig) lubmDataset() *Dataset {
+	return NewDataset(lubm.Triples(c.LUBMScale, lubm.Config{}), c.Threads)
+}
+
+func (c *ExpConfig) watdivDataset() *Dataset {
+	return NewDataset(watdiv.Triples(c.WatDivScale, watdiv.Config{}), c.Threads)
+}
+
+func lubmQueries() []NamedQuery {
+	var out []NamedQuery
+	for _, q := range lubm.Queries() {
+		out = append(out, NamedQuery{Name: q.Name, Group: "LUBM", SPARQL: q.SPARQL})
+	}
+	return out
+}
+
+func watdivNamed(qs []watdiv.Query) []NamedQuery {
+	var out []NamedQuery
+	for _, q := range qs {
+		out = append(out, NamedQuery{Name: q.Name, Group: q.Group, SPARQL: q.SPARQL})
+	}
+	return out
+}
+
+// engineMatrix is the six-engine layout of Tables 2–4: three single-thread
+// engines, then three multi-thread ones.
+func engineMatrix(d *Dataset, cfg *ExpConfig) []Engine {
+	sgBuckets := 256
+	return []Engine{
+		d.PARJ("PARJ-1", 1, core.AdaptiveIndex),
+		d.HashJoin(),
+		d.RDF3X(),
+		d.PARJ("PARJ-N", cfg.Threads, core.AdaptiveIndex),
+		d.TriAD(0),
+		d.TriAD(sgBuckets),
+	}
+}
+
+// Table2 reproduces the LUBM engine comparison (paper Table 2).
+func Table2(cfg ExpConfig) *Table {
+	cfg.fill()
+	d := cfg.lubmDataset()
+	title := fmt.Sprintf("Table 2: LUBM scale %d (%d triples), times in ms", cfg.LUBMScale, len(d.Triples))
+	return RunMatrix(title, lubmQueries(), engineMatrix(d, &cfg), cfg.run())
+}
+
+// Table3 reproduces the WatDiv basic-workload comparison (paper Table 3).
+func Table3(cfg ExpConfig) *Table {
+	cfg.fill()
+	d := cfg.watdivDataset()
+	title := fmt.Sprintf("Table 3: WatDiv basic workload, scale %d (%d triples), times in ms", cfg.WatDivScale, len(d.Triples))
+	return RunMatrix(title, watdivNamed(watdiv.BasicQueries()), engineMatrix(d, &cfg), cfg.run())
+}
+
+// Table4 reproduces the WatDiv incremental/mixed linear comparison (paper
+// Table 4).
+func Table4(cfg ExpConfig) *Table {
+	cfg.fill()
+	d := cfg.watdivDataset()
+	qs := append(watdivNamed(watdiv.ILQueries()), watdivNamed(watdiv.MLQueries())...)
+	title := fmt.Sprintf("Table 4: WatDiv IL/ML workloads, scale %d (%d triples), times in ms", cfg.WatDivScale, len(d.Triples))
+	return RunMatrix(title, qs, engineMatrix(d, &cfg), cfg.run())
+}
+
+// Table5 reproduces the probe-strategy ablation (paper Table 5): Binary vs
+// AdBinary vs Index vs AdIndex, single-threaded, on both benchmarks.
+func Table5(cfg ExpConfig) *Table {
+	cfg.fill()
+	ld := cfg.lubmDataset()
+	wd := cfg.watdivDataset()
+	strategies := []struct {
+		name string
+		s    core.Strategy
+	}{
+		{"Binary", core.BinaryOnly},
+		{"AdBinary", core.AdaptiveBinary},
+		{"Index", core.IndexOnly},
+		{"AdIndex", core.AdaptiveIndex},
+	}
+	var lubmEngines, watdivEngines []Engine
+	for _, st := range strategies {
+		lubmEngines = append(lubmEngines, ld.PARJ(st.name, 1, st.s))
+		watdivEngines = append(watdivEngines, wd.PARJ(st.name, 1, st.s))
+	}
+	title := fmt.Sprintf("Table 5: impact of adaptive processing, 1 thread (LUBM scale %d, WatDiv scale %d), times in ms",
+		cfg.LUBMScale, cfg.WatDivScale)
+	t := RunMatrix(title, lubmQueries(), lubmEngines, cfg.run())
+	// Per the paper, WatDiv contributes only Avg/Geomean lines.
+	wt := RunMatrix("", watdivNamed(allWatDivAsOneGroup()), watdivEngines, cfg.run())
+	for _, row := range wt.Rows {
+		// The group prefix already reads "WatDiv Avg" / "WatDiv Geomean".
+		if strings.HasSuffix(row[0], "Avg") || strings.HasSuffix(row[0], "Geomean") {
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+func allWatDivAsOneGroup() []watdiv.Query {
+	qs := watdiv.AllQueries()
+	out := make([]watdiv.Query, len(qs))
+	for i, q := range qs {
+		q.Group = "WatDiv"
+		out[i] = q
+	}
+	return out
+}
+
+// Table6 reproduces the search-procedure instrumentation (paper Table 6):
+// per LUBM query, the number of binary vs sequential probes chosen by the
+// adaptive method, and — through the cache-hierarchy simulator standing in
+// for hardware counters — cycles and L1/L2/L3 misses of the probe
+// procedures when using binary search vs the ID-to-Position index.
+func Table6(cfg ExpConfig) *Table {
+	cfg.fill()
+	d := cfg.lubmDataset()
+	st, ss := d.Store()
+	t := &Table{
+		Title: fmt.Sprintf("Table 6: probe counts and simulated cache behavior, LUBM scale %d, 1 thread", cfg.LUBMScale),
+		Header: []string{"Query", "#Binary", "#Sequential",
+			"BS-Cycles", "BS-L1", "BS-L2", "BS-L3",
+			"IDX-Cycles", "IDX-L1", "IDX-L2", "IDX-L3"},
+	}
+	for _, q := range lubm.Queries() {
+		parsed, err := sparql.Parse(q.SPARQL)
+		if err != nil {
+			panic(err)
+		}
+		plan, err := optimizer.Optimize(parsed, st, ss)
+		if err != nil {
+			panic(err)
+		}
+		// Probe-strategy counts under the adaptive method.
+		res, err := core.Execute(st, plan, core.Options{Threads: 1, Silent: true, Strategy: core.AdaptiveBinary})
+		if err != nil {
+			panic(err)
+		}
+		row := []string{q.Name, fmt.Sprint(res.Stats.Binary), fmt.Sprint(res.Stats.Sequential)}
+		// Replay the probe memory traffic through the simulated hierarchy,
+		// once with binary search and once with the ID-to-Position index,
+		// keeping the adaptive thresholds identical (as the paper does).
+		// One warm-up pass fills the caches and the counters are reset
+		// before the measured pass — the paper's counters are likewise
+		// collected on warm re-executions, so compulsory misses don't
+		// drown the capacity behavior the comparison is about.
+		for _, strat := range []core.Strategy{core.AdaptiveBinary, core.AdaptiveIndex} {
+			h := cachesim.New(cachesim.DefaultConfig())
+			opts := core.Options{Threads: 1, Silent: true, Strategy: strat, MemTracer: h}
+			if _, err := core.Execute(st, plan, opts); err != nil {
+				panic(err)
+			}
+			h.Reset() // keep contents, clear counters
+			if _, err := core.Execute(st, plan, opts); err != nil {
+				panic(err)
+			}
+			row = append(row, humanCount(h.Cycles()), humanCount(h.Misses(0)),
+				humanCount(h.Misses(1)), humanCount(h.Misses(2)))
+		}
+		t.Rows = append(t.Rows, row)
+		if cfg.Progress != nil {
+			cfg.Progress("table6 %s done", q.Name)
+		}
+	}
+	return t
+}
+
+func humanCount(n uint64) string {
+	switch {
+	case n >= 10_000_000_000:
+		return fmt.Sprintf("%.2fB", float64(n)/1e9)
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprint(n)
+	}
+}
+
+// fig2Threads is the thread sweep of Figure 2.
+var fig2Threads = []int{1, 2, 4, 8, 16}
+
+// Fig2 reproduces the thread-scalability experiment (paper Figure 2):
+// LUBM queries (excluding the trivially fast L4–L6) at 1–16 threads.
+func Fig2(cfg ExpConfig) *Table {
+	cfg.fill()
+	d := cfg.lubmDataset()
+	var engines []Engine
+	for _, th := range fig2Threads {
+		engines = append(engines, d.PARJ(fmt.Sprintf("%d-thr", th), th, core.AdaptiveIndex))
+	}
+	var qs []NamedQuery
+	for _, q := range lubm.Queries() {
+		switch q.Name {
+		case "L4", "L5", "L6":
+			continue // excluded in the paper: parsing/optimizing dominates
+		}
+		qs = append(qs, NamedQuery{Name: q.Name, Group: "LUBM", SPARQL: q.SPARQL})
+	}
+	title := fmt.Sprintf("Figure 2: LUBM scale %d execution times (ms) for varying thread counts", cfg.LUBMScale)
+	return RunMatrix(title, qs, engines, cfg.run())
+}
+
+// Fig3 reproduces the data-scalability experiment (paper Figure 3): the
+// same queries at dataset sizes scale/8, scale/4, scale/2, scale with the
+// full thread count.
+func Fig3(cfg ExpConfig) *Table {
+	cfg.fill()
+	scales := []int{cfg.LUBMScale / 8, cfg.LUBMScale / 4, cfg.LUBMScale / 2, cfg.LUBMScale}
+	for i := range scales {
+		if scales[i] < 1 {
+			scales[i] = 1
+		}
+	}
+	var qs []NamedQuery
+	for _, q := range lubm.Queries() {
+		switch q.Name {
+		case "L4", "L5", "L6":
+			continue
+		}
+		qs = append(qs, NamedQuery{Name: q.Name, Group: "LUBM", SPARQL: q.SPARQL})
+	}
+	// One engine per scale, each bound to its own dataset.
+	var engines []Engine
+	for _, s := range scales {
+		d := NewDataset(lubm.Triples(s, lubm.Config{}), cfg.Threads)
+		engines = append(engines, d.PARJ(fmt.Sprintf("scale-%d", s), cfg.Threads, core.AdaptiveIndex))
+	}
+	title := fmt.Sprintf("Figure 3: LUBM execution times (ms) with %s threads for varying dataset sizes",
+		threadsLabel(cfg.Threads))
+	rc := cfg.run()
+	rc.SkipConsistency = true // each column queries a different-size dataset
+	return RunMatrix(title, qs, engines, rc)
+}
+
+func threadsLabel(n int) string {
+	if n <= 0 {
+		return "GOMAXPROCS"
+	}
+	return fmt.Sprint(n)
+}
+
+// ResultHandling reproduces the §5.2 result-handling discussion: the same
+// queries in silent mode (count only), full mode (materialize, decode, and
+// gather every row, as a client would receive them) and streaming mode
+// (the paper's iterator-style delivery). The paper reports the difference
+// only matters for multi-million-row outputs (LUBM L2: 151 → 610 ms).
+func ResultHandling(cfg ExpConfig) *Table {
+	cfg.fill()
+	d := cfg.lubmDataset()
+	st, ss := d.Store()
+	engines := []Engine{
+		d.PARJ("Silent", cfg.Threads, core.AdaptiveIndex),
+		&fullResultEngine{name: "Full", st: st, ss: ss, threads: cfg.Threads},
+		&streamResultEngine{name: "Stream", st: st, ss: ss, threads: cfg.Threads},
+	}
+	title := fmt.Sprintf("Result handling (§5.2): LUBM scale %d, silent vs full vs streaming, times in ms", cfg.LUBMScale)
+	return RunMatrix(title, lubmQueries(), engines, cfg.run())
+}
+
+// fullResultEngine materializes and decodes every row (the client-visible
+// cost the silent mode excludes).
+type fullResultEngine struct {
+	name    string
+	st      *store.Store
+	ss      *stats.Stats
+	threads int
+}
+
+func (e *fullResultEngine) Name() string { return e.name }
+
+func (e *fullResultEngine) Count(q *sparql.Query) (int64, error) {
+	plan, err := optimizer.Optimize(q, e.st, e.ss)
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Execute(e.st, plan, core.Options{Threads: e.threads, Strategy: core.AdaptiveIndex})
+	if err != nil {
+		return 0, err
+	}
+	// Decoding is the cost being measured; the rows are discarded like the
+	// paper's full-result runs (which skip only the final printing).
+	res.StringRows(e.st)
+	return res.Count, nil
+}
+
+// streamResultEngine decodes rows through the streaming path.
+type streamResultEngine struct {
+	name    string
+	st      *store.Store
+	ss      *stats.Stats
+	threads int
+}
+
+func (e *streamResultEngine) Name() string { return e.name }
+
+func (e *streamResultEngine) Count(q *sparql.Query) (int64, error) {
+	plan, err := optimizer.Optimize(q, e.st, e.ss)
+	if err != nil {
+		return 0, err
+	}
+	if plan.Distinct || plan.Limit > 0 {
+		// Fall back to buffered execution for semantics streaming rejects.
+		res, err := core.Execute(e.st, plan, core.Options{Threads: e.threads, Strategy: core.AdaptiveIndex})
+		if err != nil {
+			return 0, err
+		}
+		return res.Count, nil
+	}
+	return core.ExecuteStream(e.st, plan, core.Options{Threads: e.threads, Strategy: core.AdaptiveIndex},
+		func(row []uint32) bool {
+			for i, id := range row {
+				slot := plan.Project[i]
+				if plan.SlotIsPred[slot] {
+					_ = e.st.Predicates.Decode(id)
+				} else {
+					_ = e.st.Resources.Decode(id)
+				}
+			}
+			return true
+		})
+}
+
+// Experiments lists the runnable experiment ids.
+func Experiments() []string {
+	return []string{"table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "results"}
+}
+
+// Run dispatches an experiment by id.
+func Run(name string, cfg ExpConfig) (*Table, error) {
+	switch strings.ToLower(name) {
+	case "table2":
+		return Table2(cfg), nil
+	case "table3":
+		return Table3(cfg), nil
+	case "table4":
+		return Table4(cfg), nil
+	case "table5":
+		return Table5(cfg), nil
+	case "table6":
+		return Table6(cfg), nil
+	case "fig2":
+		return Fig2(cfg), nil
+	case "fig3":
+		return Fig3(cfg), nil
+	case "results", "resulthandling":
+		return ResultHandling(cfg), nil
+	default:
+		valid := Experiments()
+		sort.Strings(valid)
+		return nil, fmt.Errorf("bench: unknown experiment %q (valid: %s)", name, strings.Join(valid, ", "))
+	}
+}

@@ -1,0 +1,151 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Levels: []LevelConfig{
+			{Name: "L1", SizeBytes: 1024, Ways: 2, LineSize: 64, HitCycles: 4},
+			{Name: "L2", SizeBytes: 4096, Ways: 4, LineSize: 64, HitCycles: 12},
+		},
+		MemoryCycles: 100,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(tinyConfig())
+	h.Access(0)
+	if h.Misses(0) != 1 || h.Misses(1) != 1 {
+		t.Fatalf("cold access: L1 misses=%d L2 misses=%d, want 1,1", h.Misses(0), h.Misses(1))
+	}
+	if h.Cycles() != 100 {
+		t.Fatalf("cold access cycles = %d, want 100", h.Cycles())
+	}
+	h.Access(4) // same 64-byte line
+	if h.Misses(0) != 1 {
+		t.Fatalf("second access missed L1: misses=%d", h.Misses(0))
+	}
+	if h.Cycles() != 104 {
+		t.Fatalf("cycles = %d, want 104", h.Cycles())
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	h := New(tinyConfig())
+	// L1: 1024 B / 64 B = 16 lines, 2-way -> 8 sets. Lines mapping to set 0
+	// are line numbers 0, 8, 16, ... Access three of them: the first is
+	// evicted from L1 but stays in L2.
+	h.Access(0 * 64 * 8 * 64 / 64) // line 0
+	h.Access(8 * 64)               // line 8 -> set 0
+	h.Access(16 * 64)              // line 16 -> set 0
+	h.Reset()
+	h.Access(0) // line 0: L1 miss (evicted), L2 hit
+	if h.Misses(0) != 1 {
+		t.Errorf("L1 misses = %d, want 1", h.Misses(0))
+	}
+	if h.Hits(1) != 1 {
+		t.Errorf("L2 hits = %d, want 1", h.Hits(1))
+	}
+	if h.Cycles() != 12 {
+		t.Errorf("cycles = %d, want 12 (L2 hit)", h.Cycles())
+	}
+}
+
+func TestLRUOrderWithinSet(t *testing.T) {
+	h := New(tinyConfig())
+	a, b, c := uint64(0), uint64(8*64), uint64(16*64) // all set 0 in L1
+	h.Access(a)
+	h.Access(b)
+	h.Access(a) // promote a to MRU; b becomes LRU
+	h.Access(c) // evicts b
+	h.Reset()
+	h.Access(a)
+	if h.Misses(0) != 0 {
+		t.Errorf("a was evicted but should be resident (misses=%d)", h.Misses(0))
+	}
+	h.Access(b)
+	if h.Misses(0) != 1 {
+		t.Errorf("b should have been the LRU victim (misses=%d)", h.Misses(0))
+	}
+}
+
+func TestSequentialBeatsRandomScan(t *testing.T) {
+	cfg := DefaultConfig()
+	const n = 1 << 20 // 4 MiB of uint32
+	seqH := New(cfg)
+	for i := 0; i < n; i++ {
+		seqH.Access(uint64(i) * 4)
+	}
+	rndH := New(cfg)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		rndH.Access(uint64(rng.Intn(n)) * 4)
+	}
+	if seqH.Cycles() >= rndH.Cycles() {
+		t.Errorf("sequential scan (%d cycles) should be cheaper than random (%d)", seqH.Cycles(), rndH.Cycles())
+	}
+	if seqH.Misses(0)*4 > rndH.Misses(0) {
+		t.Errorf("sequential L1 misses (%d) should be far below random (%d)", seqH.Misses(0), rndH.Misses(0))
+	}
+}
+
+func TestResetKeepsContentsFlushDrops(t *testing.T) {
+	h := New(tinyConfig())
+	h.Access(0)
+	h.Reset()
+	if h.Cycles() != 0 || h.Accesses() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	h.Access(0)
+	if h.Misses(0) != 0 {
+		t.Error("Reset dropped cache contents")
+	}
+	h.Flush()
+	h.Access(0)
+	if h.Misses(0) != 1 {
+		t.Error("Flush kept cache contents")
+	}
+}
+
+func TestLevelMetadata(t *testing.T) {
+	h := New(DefaultConfig())
+	if h.Levels() != 3 {
+		t.Fatalf("Levels = %d, want 3", h.Levels())
+	}
+	names := []string{"L1", "L2", "L3"}
+	for i, want := range names {
+		if got := h.LevelName(i); got != want {
+			t.Errorf("LevelName(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Levels: []LevelConfig{{SizeBytes: 0, Ways: 1, LineSize: 64}}},
+		{Levels: []LevelConfig{{SizeBytes: 64, Ways: 0, LineSize: 64}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestAccessCount(t *testing.T) {
+	h := New(tinyConfig())
+	for i := 0; i < 37; i++ {
+		h.Access(uint64(i) * 64)
+	}
+	if h.Accesses() != 37 {
+		t.Errorf("Accesses = %d, want 37", h.Accesses())
+	}
+}

@@ -1,0 +1,144 @@
+// Package cluster implements the paper's §6 cluster extension: "it is
+// straightforward to extend PARJ to a 'cluster' version through full
+// replication, such that during query execution each worker starts
+// processing from a different initial shard."
+//
+// Every node holds a complete replica of the store (full replication —
+// modeled in-process by sharing the immutable store, which gives each node
+// exactly what a replica gives it: independent read-only access). A query
+// is split into the same communication-free shards the single-machine
+// engine uses, the shards are assigned to nodes, every node evaluates its
+// assignment with its local worker threads, and only the final results
+// travel to the coordinator. There is no inter-node communication during
+// the join, so the design inherits the paper's scalability argument
+// unchanged: total elapsed is the slowest node.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"parj/internal/core"
+	"parj/internal/optimizer"
+	"parj/internal/search"
+	"parj/internal/store"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Nodes is the number of replica-holding nodes (default 2).
+	Nodes int
+	// ThreadsPerNode is each node's local worker count (default 1).
+	ThreadsPerNode int
+	// Strategy is the probe strategy used by every node.
+	Strategy core.Strategy
+}
+
+// Cluster evaluates queries over N fully replicated nodes.
+type Cluster struct {
+	st    *store.Store
+	nodes int
+	tpn   int
+	strat core.Strategy
+}
+
+// New creates a cluster over a loaded store.
+func New(st *store.Store, opts Options) *Cluster {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 2
+	}
+	if opts.ThreadsPerNode <= 0 {
+		opts.ThreadsPerNode = 1
+	}
+	return &Cluster{st: st, nodes: opts.Nodes, tpn: opts.ThreadsPerNode, strat: opts.Strategy}
+}
+
+// Result is the coordinator-side outcome of a cluster query.
+type Result struct {
+	Count int64
+	// Rows holds the gathered, dictionary-encoded projected rows (nil in
+	// silent mode).
+	Rows [][]uint32
+	// PerNode reports how many rows each node produced — the shard balance
+	// a cluster operator would watch.
+	PerNode []int64
+	// Stats aggregates probe statistics across all nodes.
+	Stats search.Stats
+}
+
+// Execute runs the plan across the cluster. Each node receives a
+// contiguous slice of the first relation's shards (the paper's "different
+// initial shard" per worker, grouped by node) and evaluates it with its
+// local threads; the coordinator concatenates the gathered results.
+func (c *Cluster) Execute(plan *optimizer.Plan, silent bool) (*Result, error) {
+	res := &Result{PerNode: make([]int64, c.nodes)}
+	if plan.Empty {
+		return res, nil
+	}
+	if plan.Distinct || plan.Limit > 0 {
+		// DISTINCT/LIMIT need coordinator-side post-processing that the
+		// single-node engine already implements; a production cluster
+		// would dedup at the coordinator. Keep the demo honest and simple.
+		return nil, fmt.Errorf("cluster: DISTINCT and LIMIT are evaluated on a single node; use core.Execute")
+	}
+
+	// Build one sub-execution per node by letting each node run the
+	// single-machine engine over a node-specific shard range. Sharding is
+	// deterministic, so splitting the first relation into nodes×threads
+	// shards and giving node i the i-th contiguous group reproduces the
+	// exact global partition the single-machine engine would use.
+	type nodeOut struct {
+		node  int
+		res   *core.Result
+		err   error
+	}
+	outCh := make(chan nodeOut, c.nodes)
+	var wg sync.WaitGroup
+	for n := 0; n < c.nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			r, err := core.ExecuteShardRange(c.st, plan, core.Options{
+				Threads:  c.nodes * c.tpn,
+				Strategy: c.strat,
+				Silent:   silent,
+			}, n*c.tpn, (n+1)*c.tpn)
+			outCh <- nodeOut{node: n, res: r, err: err}
+		}(n)
+	}
+	wg.Wait()
+	close(outCh)
+
+	// Gather in node order for determinism.
+	collected := make([]*core.Result, c.nodes)
+	for o := range outCh {
+		if o.err != nil {
+			return nil, o.err
+		}
+		collected[o.node] = o.res
+	}
+	for n, r := range collected {
+		if r == nil {
+			continue
+		}
+		res.Count += r.Count
+		res.PerNode[n] = r.Count
+		res.Stats.Add(r.Stats)
+		if !silent {
+			res.Rows = append(res.Rows, r.Rows...)
+		}
+	}
+	return res, nil
+}
+
+// Count is Execute in silent mode.
+func (c *Cluster) Count(plan *optimizer.Plan) (int64, error) {
+	r, err := c.Execute(plan, true)
+	if err != nil {
+		return 0, err
+	}
+	return r.Count, nil
+}
+
+// Nodes reports the cluster size.
+func (c *Cluster) Nodes() int { return c.nodes }

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parj/internal/core"
+	"parj/internal/lubm"
+	"parj/internal/optimizer"
+	"parj/internal/rdf"
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+)
+
+type fixture struct {
+	st *store.Store
+	ss *stats.Stats
+}
+
+func lubmFixture(t testing.TB) *fixture {
+	t.Helper()
+	st := store.LoadTriples(lubm.Triples(2, lubm.Config{}), store.BuildOptions{BuildPosIndex: true})
+	return &fixture{st: st, ss: stats.New(st)}
+}
+
+func (f *fixture) plan(t testing.TB, src string) *optimizer.Plan {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := optimizer.Optimize(q, f.st, f.ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestClusterMatchesSingleMachine(t *testing.T) {
+	f := lubmFixture(t)
+	for _, q := range lubm.Queries() {
+		plan := f.plan(t, q.SPARQL)
+		if plan.Distinct || plan.Limit > 0 {
+			continue
+		}
+		single, err := core.Execute(f.st, plan, core.Options{Threads: 6, Silent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nodes := range []int{1, 2, 3, 5} {
+			c := New(f.st, Options{Nodes: nodes, ThreadsPerNode: 2, Strategy: core.AdaptiveIndex})
+			got, err := c.Count(plan)
+			if err != nil {
+				t.Fatalf("%s nodes=%d: %v", q.Name, nodes, err)
+			}
+			if got != single.Count {
+				t.Errorf("%s nodes=%d: cluster count %d != single %d", q.Name, nodes, got, single.Count)
+			}
+		}
+	}
+}
+
+func TestClusterGathersRows(t *testing.T) {
+	f := lubmFixture(t)
+	plan := f.plan(t, `SELECT ?x ?y ?z WHERE {
+		?x `+lubm.PredMemberOf+` ?z .
+		?z `+lubm.PredSubOrgOf+` ?y .
+		?x `+lubm.PredUndergradFrom+` ?y }`)
+	c := New(f.st, Options{Nodes: 3, ThreadsPerNode: 2})
+	res, err := c.Execute(plan, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(res.Rows)) != res.Count || res.Count == 0 {
+		t.Fatalf("gathered %d rows, count %d", len(res.Rows), res.Count)
+	}
+	var perNodeSum int64
+	for _, n := range res.PerNode {
+		perNodeSum += n
+	}
+	if perNodeSum != res.Count {
+		t.Errorf("per-node counts sum to %d, total %d", perNodeSum, res.Count)
+	}
+	if res.Stats.Total() == 0 {
+		t.Error("no probe stats gathered")
+	}
+}
+
+func TestClusterShardBalance(t *testing.T) {
+	// With a scan-heavy query the shard assignment should spread work
+	// across nodes (not perfectly, but no node should be idle).
+	f := lubmFixture(t)
+	plan := f.plan(t, `SELECT ?x ?y WHERE { ?x `+lubm.PredTakesCourse+` ?y }`)
+	c := New(f.st, Options{Nodes: 4, ThreadsPerNode: 1})
+	res, err := c.Execute(plan, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, cnt := range res.PerNode {
+		if cnt == 0 {
+			t.Errorf("node %d produced no rows; shard assignment broken: %v", n, res.PerNode)
+		}
+	}
+}
+
+func TestClusterRejectsDistinctAndLimit(t *testing.T) {
+	f := lubmFixture(t)
+	c := New(f.st, Options{Nodes: 2})
+	for _, src := range []string{
+		`SELECT DISTINCT ?x WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`,
+		`SELECT ?x WHERE { ?x ` + lubm.PredTakesCourse + ` ?y } LIMIT 5`,
+	} {
+		if _, err := c.Execute(f.plan(t, src), true); err == nil {
+			t.Errorf("%s: accepted, want error", src)
+		}
+	}
+}
+
+func TestClusterEmptyPlan(t *testing.T) {
+	f := lubmFixture(t)
+	plan := f.plan(t, `SELECT ?x WHERE { ?x <nosuch> ?y }`)
+	c := New(f.st, Options{Nodes: 3})
+	n, err := c.Count(plan)
+	if err != nil || n != 0 {
+		t.Errorf("empty plan: n=%d err=%v", n, err)
+	}
+}
+
+// Property: for random small graphs and queries, any node/thread split
+// yields the single-machine count.
+func TestQuickClusterEquivalence(t *testing.T) {
+	fq := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var triples []rdf.Triple
+		for i := 0; i < 80+rng.Intn(80); i++ {
+			triples = append(triples, rdf.Triple{
+				S: fmt.Sprintf("<r%d>", rng.Intn(20)),
+				P: fmt.Sprintf("<p%d>", rng.Intn(3)),
+				O: fmt.Sprintf("<r%d>", rng.Intn(20)),
+			})
+		}
+		st := store.LoadTriples(triples, store.BuildOptions{})
+		ss := stats.New(st)
+		vars := []string{"a", "b", "c"}
+		src := "SELECT * WHERE {"
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			src += fmt.Sprintf(" ?%s <p%d> ?%s .", vars[rng.Intn(3)], rng.Intn(3), vars[rng.Intn(3)])
+		}
+		src += " }"
+		q, err := sparql.Parse(src)
+		if err != nil {
+			return true
+		}
+		plan, err := optimizer.Optimize(q, st, ss)
+		if err != nil {
+			return false
+		}
+		single, err := core.Execute(st, plan, core.Options{Threads: 4, Silent: true})
+		if err != nil {
+			return false
+		}
+		c := New(st, Options{Nodes: 1 + rng.Intn(4), ThreadsPerNode: 1 + rng.Intn(3)})
+		got, err := c.Count(plan)
+		if err != nil {
+			return false
+		}
+		return got == single.Count
+	}
+	if err := quick.Check(fq, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

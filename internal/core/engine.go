@@ -1,0 +1,763 @@
+// Package core implements PARJ's parallel adaptive join engine (paper §3–4).
+//
+// A left-deep plan is executed as a pipeline: workers scan disjoint shards
+// of the first relation (or of the value vector of a selective first
+// pattern, Example 3.2) and, for every produced binding, probe the next
+// pattern's table. All shared state is read-only; workers never communicate
+// or synchronize — the paper's central design point — and merge their
+// result buffers only after the last worker finishes.
+//
+// Every probe into a key array goes through one of four strategies
+// (Table 5 of the paper): always binary search, adaptive
+// binary-vs-sequential (Algorithm 1), always ID-to-Position index, or
+// adaptive index-vs-sequential. Sequential probes resume from a per-worker,
+// per-pattern cursor, which turns sorted and partially sorted probe streams
+// into merge-join-like scans.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"parj/internal/optimizer"
+	"parj/internal/search"
+	"parj/internal/store"
+)
+
+// Strategy selects the probe method for locating keys (Table 5).
+type Strategy int
+
+const (
+	// AdaptiveBinary switches per probe between sequential search and
+	// binary search (the paper's AdBinary, the default).
+	AdaptiveBinary Strategy = iota
+	// BinaryOnly always uses binary search (Binary).
+	BinaryOnly
+	// IndexOnly always uses the ID-to-Position index (Index).
+	IndexOnly
+	// AdaptiveIndex switches between sequential search and the
+	// ID-to-Position index (AdIndex).
+	AdaptiveIndex
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case AdaptiveBinary:
+		return "AdBinary"
+	case BinaryOnly:
+		return "Binary"
+	case IndexOnly:
+		return "Index"
+	case AdaptiveIndex:
+		return "AdIndex"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// NeedsIndex reports whether the strategy requires ID-to-Position indexes
+// in the store.
+func (s Strategy) NeedsIndex() bool { return s == IndexOnly || s == AdaptiveIndex }
+
+// Options configures one execution.
+type Options struct {
+	// Threads is the number of workers; 0 means runtime.GOMAXPROCS(0).
+	// Each worker is exactly one goroutine, matching the paper's
+	// one-thread-per-worker model.
+	Threads int
+	// Strategy is the key-probe strategy.
+	Strategy Strategy
+	// Silent counts results without materializing rows (the paper's
+	// "silent mode" used in all timing experiments).
+	Silent bool
+	// MemTracer, when non-nil, replays every memory access of the key
+	// probes (binary/sequential/index searches) through the tracer —
+	// typically a cachesim.Hierarchy. This reproduces the paper's Table 6
+	// measurement, which counts cycles and cache misses of the search
+	// procedures only. Tracing is only meaningful with Threads = 1; the
+	// paper's Table 6 runs single-threaded.
+	MemTracer search.Tracer
+	// MeasureShards runs the shards one at a time (no goroutine
+	// concurrency) and records each shard's execution time in
+	// Result.ShardDurations. Because PARJ workers share nothing and never
+	// communicate, the elapsed time of a communication-free N-core run is
+	// the maximum shard duration — which lets hosts with fewer cores than
+	// the requested thread count simulate the paper's multicore wall
+	// clock. See Result.MaxShardTime.
+	MeasureShards bool
+}
+
+// Result is the outcome of an execution.
+type Result struct {
+	// Vars names the projected columns.
+	Vars []string
+	// Rows holds the projected, dictionary-encoded result rows. It is nil
+	// in silent mode (unless DISTINCT forces materialization).
+	Rows [][]uint32
+	// Count is the number of result rows (after DISTINCT and LIMIT).
+	Count int64
+	// Stats aggregates the probe-strategy decisions across workers.
+	Stats search.Stats
+	// Plan is the executed plan, kept for decoding and explain output.
+	Plan *optimizer.Plan
+	// ShardDurations holds per-shard execution times when
+	// Options.MeasureShards was set (one entry per worker shard).
+	ShardDurations []time.Duration
+}
+
+// MaxShardTime returns the longest shard duration — the simulated
+// communication-free parallel elapsed time (zero unless MeasureShards).
+func (r *Result) MaxShardTime() time.Duration {
+	var m time.Duration
+	for _, d := range r.ShardDurations {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// SumShardTime returns the total worker time (zero unless MeasureShards).
+func (r *Result) SumShardTime() time.Duration {
+	var s time.Duration
+	for _, d := range r.ShardDurations {
+		s += d
+	}
+	return s
+}
+
+// Decode converts row r to the projected variables' string values using the
+// store's dictionaries.
+func (r *Result) Decode(st *store.Store, row []uint32) []string {
+	out := make([]string, len(row))
+	for i, id := range row {
+		slot := r.Plan.Project[i]
+		if r.Plan.SlotIsPred[slot] {
+			out[i] = st.Predicates.Decode(id)
+		} else {
+			out[i] = st.Resources.Decode(id)
+		}
+	}
+	return out
+}
+
+// StringRows decodes all rows.
+func (r *Result) StringRows(st *store.Store) [][]string {
+	out := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = r.Decode(st, row)
+	}
+	return out
+}
+
+// Execute runs plan against st. It returns an error only for option/plan
+// mismatches (e.g. an index strategy on a store built without indexes);
+// data-dependent emptiness is a normal empty Result.
+func Execute(st *store.Store, plan *optimizer.Plan, opts Options) (*Result, error) {
+	return ExecuteShardRange(st, plan, opts, 0, -1)
+}
+
+// ExecuteShardRange runs only the shards with index in [from, to) of the
+// deterministic global sharding implied by opts.Threads (to < 0 means "to
+// the end"). The single-machine Execute uses the full range; the cluster
+// extension (package cluster, paper §6) gives each replicated node a
+// disjoint range, so the union of the nodes' results over the same plan
+// and thread count is exactly the full result, with no inter-node
+// communication.
+func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from, to int) (*Result, error) {
+	res := &Result{Plan: plan}
+	for _, slot := range plan.Project {
+		res.Vars = append(res.Vars, plan.SlotVars[slot])
+	}
+	if plan.Empty {
+		return res, nil
+	}
+	if opts.Strategy.NeedsIndex() {
+		for p := 1; p <= st.NumPredicates(); p++ {
+			if st.SO(uint32(p)).Index == nil {
+				return nil, errNeedsIndex(opts.Strategy)
+			}
+		}
+	}
+	if len(plan.Patterns) == 0 {
+		// All patterns were constant and verified at plan time: one empty
+		// solution, produced by the range holding shard 0 so a cluster
+		// emits it exactly once.
+		if from == 0 {
+			res.Count = 1
+			if !opts.Silent {
+				res.Rows = [][]uint32{make([]uint32, len(plan.Project))}
+			}
+		}
+		return res, nil
+	}
+
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	shards := makeShards(st, plan, threads)
+	if from < 0 {
+		from = 0
+	}
+	if to < 0 || to > len(shards) {
+		to = len(shards)
+	}
+	if from > len(shards) {
+		from = len(shards)
+	}
+	if from > to {
+		from = to
+	}
+	shards = shards[from:to]
+
+	// DISTINCT must see the projected rows even in silent mode.
+	materialize := !opts.Silent || plan.Distinct
+
+	workers := make([]*worker, len(shards))
+	for i := range shards {
+		workers[i] = &worker{
+			st:          st,
+			plan:        plan,
+			strategy:    opts.Strategy,
+			tracer:      opts.MemTracer,
+			binding:     make([]uint32, plan.NumSlots),
+			cursors:     make([]int, len(plan.Patterns)),
+			materialize: materialize,
+			limit:       plan.Limit,
+		}
+	}
+	if opts.MeasureShards {
+		res.ShardDurations = make([]time.Duration, len(shards))
+		for i, w := range workers {
+			start := time.Now()
+			w.runShard(shards[i])
+			res.ShardDurations[i] = time.Since(start)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, w := range workers {
+			wg.Add(1)
+			go func(w *worker, sh shard) {
+				defer wg.Done()
+				w.runShard(sh)
+			}(w, shards[i])
+		}
+		wg.Wait()
+	}
+
+	for _, w := range workers {
+		res.Stats.Add(w.stats)
+	}
+	if materialize {
+		var rows [][]uint32
+		for _, w := range workers {
+			rows = append(rows, w.rows...)
+		}
+		if plan.Distinct {
+			rows = dedupRows(rows)
+		}
+		if plan.Limit > 0 && len(rows) > plan.Limit {
+			rows = rows[:plan.Limit]
+		}
+		res.Count = int64(len(rows))
+		if !opts.Silent {
+			res.Rows = rows
+		}
+	} else {
+		for _, w := range workers {
+			res.Count += w.count
+		}
+		if plan.Limit > 0 && res.Count > int64(plan.Limit) {
+			res.Count = int64(plan.Limit)
+		}
+	}
+	return res, nil
+}
+
+func dedupRows(rows [][]uint32) [][]uint32 {
+	seen := make(map[string]bool, len(rows))
+	var key []byte
+	out := rows[:0]
+	for _, r := range rows {
+		key = key[:0]
+		for _, v := range r {
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		k := string(key)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// worker executes one shard of the first relation through the whole
+// pipeline. Workers share only immutable data.
+type worker struct {
+	st       *store.Store
+	plan     *optimizer.Plan
+	strategy Strategy
+	tracer   search.Tracer // nil unless Table-6-style tracing is on
+
+	binding []uint32
+	cursors []int // per-pattern key-array cursor for sequential resumption
+
+	materialize bool
+	rows        [][]uint32
+	count       int64
+	limit       int
+
+	// stream, when non-nil, routes rows to ExecuteStream's collector
+	// instead of buffering them.
+	stream *streamSink
+
+	stats search.Stats
+}
+
+// emit records one full binding; it returns false when the worker's LIMIT
+// budget is exhausted (or, in streaming mode, when the consumer cancelled).
+func (w *worker) emit() bool {
+	if w.stream != nil {
+		row := make([]uint32, len(w.plan.Project))
+		for i, slot := range w.plan.Project {
+			row[i] = w.binding[slot]
+		}
+		return w.stream.push(row)
+	}
+	if w.materialize {
+		row := make([]uint32, len(w.plan.Project))
+		for i, slot := range w.plan.Project {
+			row[i] = w.binding[slot]
+		}
+		w.rows = append(w.rows, row)
+		return w.limit == 0 || len(w.rows) < w.limit
+	}
+	w.count++
+	return w.limit == 0 || w.count < int64(w.limit)
+}
+
+// table returns the replica pattern pi uses for predicate p.
+func (w *worker) table(pi int, p uint32) *store.Table {
+	if w.plan.Patterns[pi].UseOS {
+		return w.st.OS(p)
+	}
+	return w.st.SO(p)
+}
+
+// locateKey finds v in t.Keys using the configured probe strategy and the
+// worker's per-pattern cursor.
+func (w *worker) locateKey(pi int, t *store.Table, v uint32) (int, bool) {
+	cur := &w.cursors[pi]
+	if w.tracer != nil {
+		return w.locateKeyTraced(t, v, cur)
+	}
+	switch w.strategy {
+	case BinaryOnly:
+		w.stats.Binary++
+		return search.Binary(t.Keys, v, cur)
+	case AdaptiveBinary:
+		return search.Adaptive(t.Keys, v, cur, t.Threshold, &w.stats)
+	case IndexOnly:
+		w.stats.Index++
+		pos, ok := t.Index.Lookup(v)
+		if ok {
+			*cur = pos
+		}
+		return pos, ok
+	default: // AdaptiveIndex
+		if len(t.Keys) == 0 {
+			return 0, false
+		}
+		i := *cur
+		if i < 0 || i >= len(t.Keys) {
+			i = 0
+			*cur = 0
+		}
+		dist := int64(t.Keys[i]) - int64(v)
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist <= int64(t.IndexThreshold) {
+			w.stats.Sequential++
+			return search.Sequential(t.Keys, v, cur)
+		}
+		w.stats.Index++
+		pos, ok := t.Index.Lookup(v)
+		if ok {
+			*cur = pos
+		}
+		return pos, ok
+	}
+}
+
+// locateKeyTraced mirrors locateKey but replays every array access through
+// the tracer (Table 6 instrumentation).
+func (w *worker) locateKeyTraced(t *store.Table, v uint32, cur *int) (int, bool) {
+	switch w.strategy {
+	case BinaryOnly:
+		w.stats.Binary++
+		return search.BinaryTraced(t.Keys, v, cur, t.KeysBase, w.tracer)
+	case AdaptiveBinary:
+		return search.AdaptiveTraced(t.Keys, v, cur, t.Threshold, t.KeysBase, w.tracer, &w.stats)
+	case IndexOnly:
+		w.stats.Index++
+		pos, ok := t.Index.LookupTraced(v, t.IndexBases, w.tracer)
+		if ok {
+			*cur = pos
+		}
+		return pos, ok
+	default: // AdaptiveIndex
+		if len(t.Keys) == 0 {
+			return 0, false
+		}
+		i := *cur
+		if i < 0 || i >= len(t.Keys) {
+			i = 0
+			*cur = 0
+		}
+		w.tracer.Access(t.KeysBase + uint64(i)*4)
+		dist := int64(t.Keys[i]) - int64(v)
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist <= int64(t.IndexThreshold) {
+			w.stats.Sequential++
+			return search.SequentialTraced(t.Keys, v, cur, t.KeysBase, w.tracer)
+		}
+		w.stats.Index++
+		pos, ok := t.Index.LookupTraced(v, t.IndexBases, w.tracer)
+		if ok {
+			*cur = pos
+		}
+		return pos, ok
+	}
+}
+
+// searchRun locates v inside a (short, sorted) run with binary search.
+func searchRun(run []uint32, v uint32) bool {
+	i := sort.Search(len(run), func(i int) bool { return run[i] >= v })
+	return i < len(run) && run[i] == v
+}
+
+// step evaluates pattern pi under the current binding and recurses. It
+// returns false to abort the worker (limit reached).
+func (w *worker) step(pi int) bool {
+	if pi == len(w.plan.Patterns) {
+		return w.emit()
+	}
+	pp := &w.plan.Patterns[pi]
+	if pp.Expanded() {
+		return w.stepExpanded(pi, pp)
+	}
+	if pp.PredID != 0 {
+		return w.stepWithPred(pi, pp, pp.PredID)
+	}
+	if !pp.PredNew {
+		return w.stepWithPred(pi, pp, w.binding[pp.PredSlot])
+	}
+	// New predicate variable: union over all predicates (paper §3, noted
+	// as rare in real queries).
+	for p := uint32(1); p <= uint32(w.st.NumPredicates()); p++ {
+		w.binding[pp.PredSlot] = p
+		if !w.stepWithPred(pi, pp, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *worker) stepWithPred(pi int, pp *optimizer.PatternPlan, pred uint32) bool {
+	t := w.table(pi, pred)
+	switch pp.Key.Kind {
+	case optimizer.Const:
+		pos := pp.KeyConstPos
+		if pos < 0 || pp.PredID == 0 {
+			// No precomputed position (variable predicate): plain lookup.
+			p, ok := t.LookupKey(pp.Key.Const)
+			if !ok {
+				return true
+			}
+			pos = p
+		}
+		return w.values(pi, pp, t, pos)
+	case optimizer.BoundVar:
+		v := w.binding[pp.Key.Slot]
+		pos, ok := w.locateKey(pi, t, v)
+		if !ok {
+			return true
+		}
+		return w.values(pi, pp, t, pos)
+	default: // NewVar: scan all keys (cartesian or self-join pattern)
+		for pos := range t.Keys {
+			w.binding[pp.Key.Slot] = t.Keys[pos]
+			if !w.values(pi, pp, t, pos) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// values handles the value column of pattern pi for the key at pos.
+func (w *worker) values(pi int, pp *optimizer.PatternPlan, t *store.Table, pos int) bool {
+	run := t.Run(pos)
+	switch pp.Val.Kind {
+	case optimizer.NewVar:
+		for _, v := range run {
+			w.binding[pp.Val.Slot] = v
+			if !w.step(pi + 1) {
+				return false
+			}
+		}
+		return true
+	case optimizer.BoundVar:
+		if searchRun(run, w.binding[pp.Val.Slot]) {
+			return w.step(pi + 1)
+		}
+		return true
+	default: // Const
+		if searchRun(run, pp.Val.Const) {
+			return w.step(pi + 1)
+		}
+		return true
+	}
+}
+
+// shard describes one worker's slice of the first pattern.
+type shard struct {
+	// ranges lists (pred, key or value range) assignments. For constant
+	// predicates there is exactly one entry.
+	ranges []predRange
+
+	// Hierarchy-expanded first patterns are sharded over materialized
+	// union arrays instead (see makeExpandedShards): unionKeys slices the
+	// deduplicated key union (Key is a new variable), unionVals slices the
+	// deduplicated value union of a constant-key lookup. whole marks a
+	// fallback shard evaluating the entire pattern.
+	unionKeys []uint32
+	unionVals []uint32
+	whole     bool
+}
+
+type predRange struct {
+	pred uint32
+	// keyFrom/keyTo slice the key array when the first pattern's key is a
+	// variable; valFrom/valTo slice the run of keyPos when the key is a
+	// constant (Example 3.2: sharding the subject vector of a selective
+	// O-S lookup).
+	keyFrom, keyTo int
+	keyPos         int // -1 when sharding keys
+	valFrom, valTo int
+}
+
+// runShard drives the first pattern over the worker's shard, then pipelines
+// into the remaining patterns.
+func (w *worker) runShard(sh shard) {
+	pp := &w.plan.Patterns[0]
+	switch {
+	case sh.whole:
+		w.step(0)
+		return
+	case sh.unionKeys != nil:
+		tables := w.expandedTables(0, pp)
+		for _, k := range sh.unionKeys {
+			w.binding[pp.Key.Slot] = k
+			if !w.valuesUnion(0, pp, w.collectRuns(tables, []uint32{k})) {
+				return
+			}
+		}
+		return
+	case sh.unionVals != nil:
+		for _, v := range sh.unionVals {
+			w.binding[pp.Val.Slot] = v
+			if !w.step(1) {
+				return
+			}
+		}
+		return
+	}
+	for _, r := range sh.ranges {
+		if pp.PredSlot >= 0 {
+			w.binding[pp.PredSlot] = r.pred
+		}
+		t := w.table(0, r.pred)
+		if r.keyPos >= 0 {
+			// Constant key: iterate a slice of its run.
+			run := t.Run(r.keyPos)[r.valFrom:r.valTo]
+			for _, v := range run {
+				switch pp.Val.Kind {
+				case optimizer.NewVar:
+					w.binding[pp.Val.Slot] = v
+					if !w.step(1) {
+						return
+					}
+				case optimizer.Const:
+					if v == pp.Val.Const && !w.step(1) {
+						return
+					}
+				default: // BoundVar: impossible on the first pattern
+					if v == w.binding[pp.Val.Slot] && !w.step(1) {
+						return
+					}
+				}
+			}
+			continue
+		}
+		for pos := r.keyFrom; pos < r.keyTo; pos++ {
+			if pp.Key.Kind == optimizer.NewVar {
+				w.binding[pp.Key.Slot] = t.Keys[pos]
+			}
+			if !w.values(0, pp, t, pos) {
+				return
+			}
+		}
+	}
+}
+
+// makeShards splits the first pattern into at most threads balanced shards
+// (paper §3: the degree of parallelism comes from sharding the first
+// table, or the matching vector when the first pattern is selective).
+func makeShards(st *store.Store, plan *optimizer.Plan, threads int) []shard {
+	pp := &plan.Patterns[0]
+	if pp.Expanded() {
+		return makeExpandedShards(st, pp, threads)
+	}
+
+	// Enumerate the work units: one (pred, size) per candidate predicate.
+	type unit struct {
+		pred   uint32
+		keyPos int // -1 = shard keys, else shard this run
+		size   int
+	}
+	var units []unit
+	preds := []uint32{pp.PredID}
+	if pp.PredID == 0 {
+		preds = preds[:0]
+		for p := uint32(1); p <= uint32(st.NumPredicates()); p++ {
+			preds = append(preds, p)
+		}
+	}
+	for _, p := range preds {
+		var t *store.Table
+		if pp.UseOS {
+			t = st.OS(p)
+		} else {
+			t = st.SO(p)
+		}
+		if pp.Key.Kind == optimizer.Const {
+			pos := pp.KeyConstPos
+			if pp.PredID == 0 { // variable predicate: resolve per table
+				q, ok := t.LookupKey(pp.Key.Const)
+				if !ok {
+					continue
+				}
+				pos = q
+			}
+			if pos < 0 {
+				continue
+			}
+			lo, hi := t.RunBounds(pos)
+			units = append(units, unit{pred: p, keyPos: pos, size: hi - lo})
+		} else {
+			units = append(units, unit{pred: p, keyPos: -1, size: t.NumKeys()})
+		}
+	}
+	total := 0
+	for _, u := range units {
+		total += u.size
+	}
+	if total == 0 {
+		return nil
+	}
+	if threads > total {
+		threads = total
+	}
+
+	// Assign contiguous global ranges of size ≈ total/threads.
+	shards := make([]shard, 0, threads)
+	per := (total + threads - 1) / threads
+	cur := shard{}
+	curSize := 0
+	flush := func() {
+		if len(cur.ranges) > 0 {
+			shards = append(shards, cur)
+			cur = shard{}
+			curSize = 0
+		}
+	}
+	for _, u := range units {
+		offset := 0
+		for offset < u.size {
+			room := per - curSize
+			n := u.size - offset
+			if n > room {
+				n = room
+			}
+			pr := predRange{pred: u.pred, keyPos: u.keyPos}
+			if u.keyPos >= 0 {
+				pr.valFrom, pr.valTo = offset, offset+n
+			} else {
+				pr.keyFrom, pr.keyTo = offset, offset+n
+			}
+			cur.ranges = append(cur.ranges, pr)
+			curSize += n
+			offset += n
+			if curSize >= per {
+				flush()
+			}
+		}
+	}
+	flush()
+	return shards
+}
+
+// makeExpandedShards shards a hierarchy-expanded first pattern. The two
+// parallelizable forms materialize the deduplicated union once and slice
+// it; anything else (e.g. an all-constant expanded pattern) falls back to
+// a single whole-pattern shard.
+func makeExpandedShards(st *store.Store, pp *optimizer.PatternPlan, threads int) []shard {
+	tables := make([]*store.Table, 0, len(pp.Preds()))
+	for _, p := range pp.Preds() {
+		if pp.UseOS {
+			tables = append(tables, st.OS(p))
+		} else {
+			tables = append(tables, st.SO(p))
+		}
+	}
+	var merged []uint32
+	keysMode := false
+	switch {
+	case pp.Key.Kind == optimizer.NewVar:
+		merged = mergedUnionKeys(tables)
+		keysMode = true
+	case pp.Key.Kind == optimizer.Const && pp.Val.Kind == optimizer.NewVar:
+		merged = mergedUnionValues(tables, keyConstants(pp))
+	default:
+		return []shard{{whole: true}}
+	}
+	if len(merged) == 0 {
+		return nil
+	}
+	if threads > len(merged) {
+		threads = len(merged)
+	}
+	per := (len(merged) + threads - 1) / threads
+	var shards []shard
+	for from := 0; from < len(merged); from += per {
+		to := from + per
+		if to > len(merged) {
+			to = len(merged)
+		}
+		if keysMode {
+			shards = append(shards, shard{unionKeys: merged[from:to]})
+		} else {
+			shards = append(shards, shard{unionVals: merged[from:to]})
+		}
+	}
+	return shards
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"parj/internal/optimizer"
+	"parj/internal/store"
+)
+
+// errStreamUnsupported rejects streaming of queries whose semantics need
+// buffering.
+var errStreamUnsupported = errors.New("core: ExecuteStream does not support DISTINCT or LIMIT (they require buffering; use Execute)")
+
+func errNeedsIndex(s Strategy) error {
+	return fmt.Errorf("core: strategy %v requires a store built with BuildPosIndex", s)
+}
+
+// ExecuteStream runs plan like Execute but delivers projected rows to sink
+// as they are produced, instead of buffering them per worker. This is the
+// paper's full-result-handling design (§5.2): PARJ streams rows to the
+// coordinating thread through an iterator-like channel rather than keeping
+// every worker's results in memory — the reason it survives the 1.6-billion
+// row IL-3-8 query where TriAD runs out of memory.
+//
+// sink runs on a single collector goroutine (no synchronization needed
+// inside it) and returns false to cancel the query early. The returned
+// count is the number of rows delivered (before DISTINCT/LIMIT semantics;
+// those require buffering and are rejected).
+//
+// Row slices are owned by the callback for the duration of the call only;
+// copy them to retain.
+func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink func(row []uint32) bool) (int64, error) {
+	if plan.Distinct || plan.Limit > 0 {
+		return 0, errStreamUnsupported
+	}
+	if plan.Empty {
+		return 0, nil
+	}
+	if opts.Strategy.NeedsIndex() {
+		for p := 1; p <= st.NumPredicates(); p++ {
+			if st.SO(uint32(p)).Index == nil {
+				return 0, errNeedsIndex(opts.Strategy)
+			}
+		}
+	}
+	if len(plan.Patterns) == 0 {
+		sink(make([]uint32, len(plan.Project)))
+		return 1, nil
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	shards := makeShards(st, plan, threads)
+
+	// Workers push row batches into a channel; one collector drains it.
+	// Batching keeps channel traffic off the per-row hot path.
+	const batchSize = 256
+	rowCh := make(chan [][]uint32, threads*2)
+	cancel := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for i := range shards {
+		w := &worker{
+			st:       st,
+			plan:     plan,
+			strategy: opts.Strategy,
+			binding:  make([]uint32, plan.NumSlots),
+			cursors:  make([]int, len(plan.Patterns)),
+			stream: &streamSink{
+				ch:     rowCh,
+				cancel: cancel,
+				batch:  make([][]uint32, 0, batchSize),
+			},
+		}
+		wg.Add(1)
+		go func(w *worker, sh shard) {
+			defer wg.Done()
+			w.runShard(sh)
+			w.stream.flush()
+		}(w, shards[i])
+	}
+	go func() {
+		wg.Wait()
+		close(rowCh)
+	}()
+
+	var count int64
+	stopped := false
+	for batch := range rowCh {
+		if stopped {
+			continue // drain so workers don't block on a full channel
+		}
+		for _, row := range batch {
+			if !sink(row) {
+				stopped = true
+				close(cancel)
+				break
+			}
+			count++
+		}
+	}
+	return count, nil
+}
+
+// streamSink accumulates rows into batches and ships them to the collector.
+type streamSink struct {
+	ch     chan [][]uint32
+	cancel chan struct{}
+	batch  [][]uint32
+	closed bool
+}
+
+// push hands one row to the collector; returns false once the consumer has
+// cancelled.
+func (s *streamSink) push(row []uint32) bool {
+	if s.closed {
+		return false
+	}
+	s.batch = append(s.batch, row)
+	if len(s.batch) < cap(s.batch) {
+		return true
+	}
+	return s.flush()
+}
+
+func (s *streamSink) flush() bool {
+	if s.closed || len(s.batch) == 0 {
+		return !s.closed
+	}
+	select {
+	case s.ch <- s.batch:
+		s.batch = make([][]uint32, 0, cap(s.batch))
+		return true
+	case <-s.cancel:
+		s.closed = true
+		return false
+	}
+}

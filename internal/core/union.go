@@ -1,0 +1,207 @@
+package core
+
+import (
+	"parj/internal/optimizer"
+	"parj/internal/store"
+)
+
+// This file implements hierarchy-expanded pattern evaluation (paper §6):
+// patterns whose predicate was widened to a set of subproperties, or whose
+// constant object was widened to a set of subclasses, are evaluated as the
+// *deduplicated union* of the underlying tables, inside the pipeline and
+// without materializing implied triples. All runs are sorted, so the union
+// is a k-pointer merge.
+
+// unionRuns iterates the distinct values of the union of sorted slices in
+// ascending order, calling fn for each; it stops and returns false when fn
+// does. Duplicate values across runs — an entity typed in two subclasses,
+// or an edge present under two subproperties — are emitted once, which is
+// exactly the entailment semantics backward chaining requires.
+func unionRuns(runs [][]uint32, fn func(uint32) bool) bool {
+	switch len(runs) {
+	case 0:
+		return true
+	case 1:
+		for _, v := range runs[0] {
+			if !fn(v) {
+				return false
+			}
+		}
+		return true
+	}
+	idx := make([]int, len(runs))
+	for {
+		// Find the smallest head.
+		min := uint32(0)
+		found := false
+		for i, r := range runs {
+			if idx[i] < len(r) && (!found || r[idx[i]] < min) {
+				min = r[idx[i]]
+				found = true
+			}
+		}
+		if !found {
+			return true
+		}
+		// Advance every run sitting on min (deduplication).
+		for i, r := range runs {
+			if idx[i] < len(r) && r[idx[i]] == min {
+				idx[i]++
+			}
+		}
+		if !fn(min) {
+			return false
+		}
+	}
+}
+
+// anyRunContains reports whether v occurs in any of the sorted runs.
+func anyRunContains(runs [][]uint32, v uint32) bool {
+	for _, r := range runs {
+		if searchRun(r, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// expandedTables returns the tables the expanded pattern pi unions over.
+func (w *worker) expandedTables(pi int, pp *optimizer.PatternPlan) []*store.Table {
+	preds := pp.Preds()
+	tables := make([]*store.Table, len(preds))
+	for i, p := range preds {
+		tables[i] = w.table(pi, p)
+	}
+	return tables
+}
+
+// keyConstants returns the constant key alternatives of an expanded
+// pattern.
+func keyConstants(pp *optimizer.PatternPlan) []uint32 {
+	if pp.Key.Set != nil {
+		return pp.Key.Set
+	}
+	return []uint32{pp.Key.Const}
+}
+
+// collectRuns gathers the runs of every (table, key) combination that
+// exists. Lookups use plain binary search: expanded probes interleave
+// accesses to several tables, so a single sequential cursor per pattern
+// would thrash; the common non-expanded path keeps its adaptive cursor.
+func (w *worker) collectRuns(tables []*store.Table, keys []uint32) [][]uint32 {
+	var runs [][]uint32
+	for _, t := range tables {
+		for _, k := range keys {
+			if pos, ok := t.LookupKey(k); ok {
+				w.stats.Binary++
+				runs = append(runs, t.Run(pos))
+			}
+		}
+	}
+	return runs
+}
+
+// stepExpanded evaluates a hierarchy-expanded pattern. Expansion only
+// applies to constant predicates, so pp.Preds() is never empty.
+func (w *worker) stepExpanded(pi int, pp *optimizer.PatternPlan) bool {
+	tables := w.expandedTables(pi, pp)
+	switch pp.Key.Kind {
+	case optimizer.Const:
+		return w.valuesUnion(pi, pp, w.collectRuns(tables, keyConstants(pp)))
+	case optimizer.BoundVar:
+		return w.valuesUnion(pi, pp, w.collectRuns(tables, []uint32{w.binding[pp.Key.Slot]}))
+	default: // NewVar: iterate the deduplicated union of the key columns
+		return unionKeys(tables, func(k uint32, runs [][]uint32) bool {
+			w.binding[pp.Key.Slot] = k
+			return w.valuesUnion(pi, pp, runs)
+		})
+	}
+}
+
+// valuesUnion handles the value column of an expanded pattern over the
+// gathered runs.
+func (w *worker) valuesUnion(pi int, pp *optimizer.PatternPlan, runs [][]uint32) bool {
+	switch pp.Val.Kind {
+	case optimizer.NewVar:
+		return unionRuns(runs, func(v uint32) bool {
+			w.binding[pp.Val.Slot] = v
+			return w.step(pi + 1)
+		})
+	case optimizer.BoundVar:
+		if anyRunContains(runs, w.binding[pp.Val.Slot]) {
+			return w.step(pi + 1)
+		}
+		return true
+	default: // Const, possibly a set
+		consts := []uint32{pp.Val.Const}
+		if pp.Val.Set != nil {
+			consts = pp.Val.Set
+		}
+		for _, c := range consts {
+			if anyRunContains(runs, c) {
+				return w.step(pi + 1) // match once, regardless of how many members hit
+			}
+		}
+		return true
+	}
+}
+
+// unionKeys iterates the distinct union of the key columns of several
+// tables; for each key it passes the runs of the tables containing it.
+func unionKeys(tables []*store.Table, fn func(k uint32, runs [][]uint32) bool) bool {
+	idx := make([]int, len(tables))
+	runs := make([][]uint32, 0, len(tables))
+	for {
+		min := uint32(0)
+		found := false
+		for i, t := range tables {
+			if idx[i] < len(t.Keys) && (!found || t.Keys[idx[i]] < min) {
+				min = t.Keys[idx[i]]
+				found = true
+			}
+		}
+		if !found {
+			return true
+		}
+		runs = runs[:0]
+		for i, t := range tables {
+			if idx[i] < len(t.Keys) && t.Keys[idx[i]] == min {
+				runs = append(runs, t.Run(idx[i]))
+				idx[i]++
+			}
+		}
+		if !fn(min, runs) {
+			return false
+		}
+	}
+}
+
+// mergedUnionValues materializes the deduplicated union of all runs of the
+// given (tables × key constants), used to shard an expanded, selective
+// first pattern across workers (Example 3.2 generalized to unions).
+func mergedUnionValues(tables []*store.Table, keys []uint32) []uint32 {
+	var runs [][]uint32
+	for _, t := range tables {
+		for _, k := range keys {
+			if pos, ok := t.LookupKey(k); ok {
+				runs = append(runs, t.Run(pos))
+			}
+		}
+	}
+	var out []uint32
+	unionRuns(runs, func(v uint32) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// mergedUnionKeys materializes the deduplicated union of the key columns.
+func mergedUnionKeys(tables []*store.Table) []uint32 {
+	var out []uint32
+	unionKeys(tables, func(k uint32, _ [][]uint32) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"parj/internal/cachesim"
+	"parj/internal/optimizer"
+	"parj/internal/sparql"
+)
+
+func TestUnionRuns(t *testing.T) {
+	cases := []struct {
+		runs [][]uint32
+		want []uint32
+	}{
+		{nil, nil},
+		{[][]uint32{{1, 3, 5}}, []uint32{1, 3, 5}},
+		{[][]uint32{{1, 3}, {2, 3, 4}}, []uint32{1, 2, 3, 4}},
+		{[][]uint32{{1, 2}, {1, 2}, {1, 2}}, []uint32{1, 2}},
+		{[][]uint32{{}, {7}, {}}, []uint32{7}},
+		{[][]uint32{{5, 9}, {1, 9}, {9}}, []uint32{1, 5, 9}},
+	}
+	for _, c := range cases {
+		var got []uint32
+		unionRuns(c.runs, func(v uint32) bool {
+			got = append(got, v)
+			return true
+		})
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("unionRuns(%v) = %v, want %v", c.runs, got, c.want)
+		}
+	}
+}
+
+func TestUnionRunsEarlyStop(t *testing.T) {
+	runs := [][]uint32{{1, 2, 3}, {2, 4}}
+	var got []uint32
+	ok := unionRuns(runs, func(v uint32) bool {
+		got = append(got, v)
+		return len(got) < 2
+	})
+	if ok {
+		t.Error("unionRuns did not report the stop")
+	}
+	if !reflect.DeepEqual(got, []uint32{1, 2}) {
+		t.Errorf("got %v", got)
+	}
+	// Single-run fast path stops too.
+	got = nil
+	ok = unionRuns([][]uint32{{1, 2, 3}}, func(v uint32) bool {
+		got = append(got, v)
+		return false
+	})
+	if ok || len(got) != 1 {
+		t.Errorf("single-run early stop: ok=%v got=%v", ok, got)
+	}
+}
+
+// Property: unionRuns yields exactly the sorted deduplicated union.
+func TestQuickUnionRuns(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(5)
+		runs := make([][]uint32, k)
+		want := map[uint32]bool{}
+		for i := range runs {
+			n := rng.Intn(20)
+			vals := map[uint32]bool{}
+			for j := 0; j < n; j++ {
+				vals[uint32(rng.Intn(50))] = true
+			}
+			for v := range vals {
+				runs[i] = append(runs[i], v)
+				want[v] = true
+			}
+			sort.Slice(runs[i], func(a, b int) bool { return runs[i][a] < runs[i][b] })
+		}
+		var got []uint32
+		unionRuns(runs, func(v uint32) bool {
+			got = append(got, v)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				return false
+			}
+		}
+		for _, v := range got {
+			if !want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnyRunContains(t *testing.T) {
+	runs := [][]uint32{{1, 5}, {3, 7, 9}}
+	for _, v := range []uint32{1, 3, 5, 7, 9} {
+		if !anyRunContains(runs, v) {
+			t.Errorf("missing %d", v)
+		}
+	}
+	for _, v := range []uint32{0, 2, 4, 6, 8, 10} {
+		if anyRunContains(runs, v) {
+			t.Errorf("false positive %d", v)
+		}
+	}
+}
+
+// stubExpander widens predicate 1 to {1, 2} and any rdf-type object —
+// predicate 3's object — to {obj, obj+1}.
+type stubExpander struct {
+	predUnion map[uint32][]uint32
+	objUnion  map[uint64][]uint32
+	iriUnion  map[string][]uint32
+}
+
+func (s *stubExpander) ExpandPredicate(p uint32) []uint32 { return s.predUnion[p] }
+func (s *stubExpander) ExpandPredicateIRI(iri string) []uint32 {
+	return s.iriUnion[iri]
+}
+func (s *stubExpander) ExpandObject(p uint32, obj uint32) []uint32 {
+	return s.objUnion[uint64(p)<<32|uint64(obj)]
+}
+
+// expandedFixture builds a store where <broad> subsumes <p1> and <p2>, and
+// class <Top> subsumes <Top> and <Sub>.
+func expandedFixture(t *testing.T) (*fixture, *stubExpander) {
+	t.Helper()
+	f := universityFixture(t)
+	st := f.st
+	teaches := st.Predicates.Lookup("<teaches>")
+	works := st.Predicates.Lookup("<worksFor>")
+	typeP := st.Predicates.Lookup("<type>")
+	prof := st.Resources.Lookup("<Professor>")
+	stud := st.Resources.Lookup("<Student>")
+	x := &stubExpander{
+		predUnion: map[uint32][]uint32{},
+		objUnion:  map[uint64][]uint32{},
+		iriUnion:  map[string][]uint32{},
+	}
+	// <teaches> expands to {teaches, worksFor}.
+	set := []uint32{teaches, works}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	x.predUnion[teaches] = set
+	// type's object <Professor> expands to {Professor, Student}.
+	objSet := []uint32{prof, stud}
+	sort.Slice(objSet, func(i, j int) bool { return objSet[i] < objSet[j] })
+	x.objUnion[uint64(typeP)<<32|uint64(prof)] = objSet
+	// An IRI absent from the predicate dictionary resolves to the same set.
+	x.iriUnion["<broadEdge>"] = set
+	return f, x
+}
+
+func (f *fixture) runExpanded(t *testing.T, x optimizer.Expander, src string, opts Options) [][]string {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := optimizer.OptimizeExpanded(q, f.st, f.stats, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(f.st, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StringRows(f.st)
+}
+
+func TestExpandedPredUnionFirstPattern(t *testing.T) {
+	f, x := expandedFixture(t)
+	// <teaches> expanded to {teaches, worksFor}: the count must equal the
+	// sum of the two relations (disjoint pairs here).
+	nTeach := len(f.run(t, `SELECT ?a ?b WHERE { ?a <teaches> ?b }`, Options{}))
+	nWork := len(f.run(t, `SELECT ?a ?b WHERE { ?a <worksFor> ?b }`, Options{}))
+	for _, threads := range []int{1, 4} {
+		got := f.runExpanded(t, x, `SELECT ?a ?b WHERE { ?a <teaches> ?b }`, Options{Threads: threads})
+		if len(got) != nTeach+nWork {
+			t.Errorf("threads=%d: union rows = %d, want %d", threads, len(got), nTeach+nWork)
+		}
+	}
+}
+
+func TestExpandedObjectSetFirstPattern(t *testing.T) {
+	f, x := expandedFixture(t)
+	nProf := len(f.run(t, `SELECT ?a WHERE { ?a <type> <Professor> }`, Options{}))
+	nStud := len(f.run(t, `SELECT ?a WHERE { ?a <type> <Student> }`, Options{}))
+	for _, threads := range []int{1, 3} {
+		got := f.runExpanded(t, x, `SELECT ?a WHERE { ?a <type> <Professor> }`, Options{Threads: threads})
+		if len(got) != nProf+nStud {
+			t.Errorf("threads=%d: expanded class rows = %d, want %d", threads, len(got), nProf+nStud)
+		}
+	}
+}
+
+func TestExpandedProbePattern(t *testing.T) {
+	f, x := expandedFixture(t)
+	// Expanded pattern in probe position: who teaches-or-worksFor a known
+	// target, probed per binding.
+	got := f.runExpanded(t, x,
+		`SELECT ?a WHERE { ?a <type> <Professor> . ?a <teaches> <dept0_0> }`, Options{Threads: 2})
+	// With expansion, <teaches> also covers <worksFor>, so professors of
+	// dept0_0 match via their worksFor edge.
+	if len(got) != 5 {
+		t.Errorf("expanded probe rows = %d, want 5 (professors of dept0_0)", len(got))
+	}
+}
+
+func TestExpandedIRIPredicate(t *testing.T) {
+	f, x := expandedFixture(t)
+	// <broadEdge> exists only via the expander.
+	got := f.runExpanded(t, x, `SELECT ?a ?b WHERE { ?a <broadEdge> ?b }`, Options{Threads: 2})
+	nTeach := len(f.run(t, `SELECT ?a ?b WHERE { ?a <teaches> ?b }`, Options{}))
+	nWork := len(f.run(t, `SELECT ?a ?b WHERE { ?a <worksFor> ?b }`, Options{}))
+	if len(got) != nTeach+nWork {
+		t.Errorf("IRI-expanded rows = %d, want %d", len(got), nTeach+nWork)
+	}
+}
+
+func TestExpandedAllConstPattern(t *testing.T) {
+	f, x := expandedFixture(t)
+	// All-constant expanded pattern: true via the worksFor member.
+	got := f.runExpanded(t, x,
+		`SELECT ?d WHERE { <prof0_0_0> <teaches> <dept0_0> . <dept0_0> <subOrgOf> ?d }`,
+		Options{Threads: 2})
+	if len(got) != 1 {
+		t.Errorf("rows = %d, want 1", len(got))
+	}
+	// And false when no member holds.
+	got = f.runExpanded(t, x,
+		`SELECT ?d WHERE { <prof0_0_0> <teaches> <dept1_1> . <dept0_0> <subOrgOf> ?d }`,
+		Options{Threads: 2})
+	if len(got) != 0 {
+		t.Errorf("rows = %d, want 0", len(got))
+	}
+}
+
+func TestMeasureShardsTimings(t *testing.T) {
+	f := universityFixture(t)
+	q, _ := sparql.Parse(`SELECT ?a ?b WHERE { ?a <takesCourse> ?c . ?b <teaches> ?c }`)
+	plan, _ := optimizer.Optimize(q, f.st, f.stats)
+	res, err := Execute(f.st, plan, Options{Threads: 4, Silent: true, MeasureShards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShardDurations) == 0 {
+		t.Fatal("no shard durations recorded")
+	}
+	if res.MaxShardTime() <= 0 || res.SumShardTime() < res.MaxShardTime() {
+		t.Errorf("max=%v sum=%v", res.MaxShardTime(), res.SumShardTime())
+	}
+	// Counts must match the concurrent path.
+	plain, _ := Execute(f.st, plan, Options{Threads: 4, Silent: true})
+	if plain.Count != res.Count {
+		t.Errorf("measured count %d != plain %d", res.Count, plain.Count)
+	}
+}
+
+func TestMemTracerThroughEngine(t *testing.T) {
+	f := universityFixture(t)
+	q, _ := sparql.Parse(`SELECT ?s ?p ?d WHERE { ?s <advisor> ?p . ?p <worksFor> ?d }`)
+	plan, _ := optimizer.Optimize(q, f.st, f.stats)
+	want, _ := Execute(f.st, plan, Options{Threads: 1, Silent: true})
+	for _, strat := range []Strategy{AdaptiveBinary, BinaryOnly, IndexOnly, AdaptiveIndex} {
+		h := cachesim.New(cachesim.DefaultConfig())
+		res, err := Execute(f.st, plan, Options{Threads: 1, Silent: true, Strategy: strat, MemTracer: h})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if res.Count != want.Count {
+			t.Errorf("%v: traced count %d != %d", strat, res.Count, want.Count)
+		}
+		if h.Accesses() == 0 {
+			t.Errorf("%v: tracer saw no accesses", strat)
+		}
+	}
+}

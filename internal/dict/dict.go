@@ -1,0 +1,131 @@
+// Package dict implements the dictionary encoding used by PARJ.
+//
+// Every value encountered in the RDF data is assigned a dense integer ID.
+// Following the paper (§3), values appearing in the subject and object
+// positions share a common numbering, while values appearing in the
+// predicate position have their own, separate numbering. IDs start at 1;
+// ID 0 is reserved to mean "absent".
+package dict
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// NoID is the reserved ID meaning "no such value".
+const NoID uint32 = 0
+
+// Dict is a bijective mapping between strings and dense uint32 IDs 1..N.
+// The zero value is ready to use. Dict is not safe for concurrent mutation;
+// lookups are safe once loading has finished.
+type Dict struct {
+	ids     map[string]uint32
+	strings []string // strings[i] holds the value with ID i+1
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{ids: make(map[string]uint32)}
+}
+
+// Encode returns the ID for s, assigning the next free ID if s is new.
+func (d *Dict) Encode(s string) uint32 {
+	if d.ids == nil {
+		d.ids = make(map[string]uint32)
+	}
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	d.strings = append(d.strings, s)
+	id := uint32(len(d.strings))
+	d.ids[s] = id
+	return id
+}
+
+// Lookup returns the ID for s, or NoID if s has not been encoded.
+func (d *Dict) Lookup(s string) uint32 {
+	return d.ids[s]
+}
+
+// Decode returns the string for id. It panics if id is NoID or out of range,
+// mirroring slice indexing: handing an unknown ID to Decode is a programming
+// error, not a data error.
+func (d *Dict) Decode(id uint32) string {
+	if id == NoID || int(id) > len(d.strings) {
+		panic(fmt.Sprintf("dict: Decode of unknown ID %d (dictionary has %d entries)", id, len(d.strings)))
+	}
+	return d.strings[id-1]
+}
+
+// Len reports the number of distinct values encoded.
+func (d *Dict) Len() int { return len(d.strings) }
+
+// MaxID returns the largest assigned ID (equal to Len).
+func (d *Dict) MaxID() uint32 { return uint32(len(d.strings)) }
+
+// Sorted returns the encoded strings in lexicographic order. It is intended
+// for deterministic dumps and tests, not hot paths.
+func (d *Dict) Sorted() []string {
+	out := make([]string, len(d.strings))
+	copy(out, d.strings)
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo serializes the dictionary as one value per line, in ID order, so
+// that ReadFrom reconstructs identical IDs. Values must not contain '\n';
+// N-Triples terms never do.
+func (d *Dict) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, s := range d.strings {
+		k, err := bw.WriteString(s)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom loads a dictionary previously written with WriteTo. It replaces
+// the receiver's contents.
+func (d *Dict) ReadFrom(r io.Reader) (int64, error) {
+	d.ids = make(map[string]uint32)
+	d.strings = d.strings[:0]
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var n int64
+	for sc.Scan() {
+		line := sc.Text()
+		n += int64(len(line)) + 1
+		if _, dup := d.ids[line]; dup {
+			return n, fmt.Errorf("dict: duplicate value %q at ID %d", line, len(d.strings)+1)
+		}
+		d.strings = append(d.strings, line)
+		d.ids[line] = uint32(len(d.strings))
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ErrUnknownValue is returned by strict translation helpers when a value is
+// not present in the dictionary.
+var ErrUnknownValue = errors.New("dict: unknown value")
+
+// MustLookup returns the ID for s or ErrUnknownValue.
+func (d *Dict) MustLookup(s string) (uint32, error) {
+	if id := d.ids[s]; id != NoID {
+		return id, nil
+	}
+	return NoID, fmt.Errorf("%w: %q", ErrUnknownValue, s)
+}

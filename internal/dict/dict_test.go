@@ -1,0 +1,166 @@
+package dict
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeAssignsDenseIDs(t *testing.T) {
+	d := New()
+	words := []string{"a", "b", "c", "d"}
+	for i, w := range words {
+		if got := d.Encode(w); got != uint32(i+1) {
+			t.Fatalf("Encode(%q) = %d, want %d", w, got, i+1)
+		}
+	}
+	if d.Len() != len(words) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(words))
+	}
+}
+
+func TestEncodeIsIdempotent(t *testing.T) {
+	d := New()
+	a := d.Encode("x")
+	b := d.Encode("y")
+	if got := d.Encode("x"); got != a {
+		t.Errorf("re-Encode(x) = %d, want %d", got, a)
+	}
+	if got := d.Encode("y"); got != b {
+		t.Errorf("re-Encode(y) = %d, want %d", got, b)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestLookupMissingReturnsNoID(t *testing.T) {
+	d := New()
+	d.Encode("present")
+	if got := d.Lookup("absent"); got != NoID {
+		t.Errorf("Lookup(absent) = %d, want NoID", got)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var d Dict
+	if got := d.Encode("a"); got != 1 {
+		t.Errorf("zero-value Encode = %d, want 1", got)
+	}
+	if got := d.Lookup("a"); got != 1 {
+		t.Errorf("zero-value Lookup = %d, want 1", got)
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	d := New()
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("value-%04d", i)
+		id := d.Encode(s)
+		if got := d.Decode(id); got != s {
+			t.Fatalf("Decode(Encode(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestDecodePanicsOnUnknownID(t *testing.T) {
+	d := New()
+	d.Encode("only")
+	for _, id := range []uint32{NoID, 2, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Decode(%d) did not panic", id)
+				}
+			}()
+			d.Decode(id)
+		}()
+	}
+}
+
+func TestMustLookup(t *testing.T) {
+	d := New()
+	d.Encode("a")
+	if _, err := d.MustLookup("a"); err != nil {
+		t.Errorf("MustLookup(a) error: %v", err)
+	}
+	if _, err := d.MustLookup("b"); err == nil {
+		t.Error("MustLookup(b) succeeded, want error")
+	}
+}
+
+func TestSortedIsLexicographic(t *testing.T) {
+	d := New()
+	for _, w := range []string{"pear", "apple", "orange"} {
+		d.Encode(w)
+	}
+	got := d.Sorted()
+	want := []string{"apple", "orange", "pear"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	d := New()
+	for i := 0; i < 257; i++ {
+		d.Encode(fmt.Sprintf("<http://example.org/r%d>", i))
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	d2 := New()
+	if _, err := d2.ReadFrom(&buf); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("round-trip Len = %d, want %d", d2.Len(), d.Len())
+	}
+	for id := uint32(1); id <= d.MaxID(); id++ {
+		if d.Decode(id) != d2.Decode(id) {
+			t.Fatalf("ID %d: %q != %q", id, d.Decode(id), d2.Decode(id))
+		}
+	}
+}
+
+func TestReadFromRejectsDuplicates(t *testing.T) {
+	d := New()
+	if _, err := d.ReadFrom(strings.NewReader("a\nb\na\n")); err == nil {
+		t.Error("ReadFrom with duplicate line succeeded, want error")
+	}
+}
+
+// Property: Encode is a bijection — distinct strings get distinct IDs and
+// Decode inverts Encode.
+func TestQuickBijection(t *testing.T) {
+	f := func(words []string) bool {
+		d := New()
+		seen := make(map[string]uint32)
+		for _, w := range words {
+			id := d.Encode(w)
+			if prev, ok := seen[w]; ok && prev != id {
+				return false
+			}
+			seen[w] = id
+			if d.Decode(id) != w {
+				return false
+			}
+		}
+		ids := make(map[uint32]bool)
+		for _, id := range seen {
+			if ids[id] {
+				return false
+			}
+			ids[id] = true
+		}
+		return d.Len() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

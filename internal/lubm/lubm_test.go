@@ -1,0 +1,126 @@
+package lubm
+
+import (
+	"strings"
+	"testing"
+
+	"parj/internal/rdf"
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+
+	"parj/internal/core"
+	"parj/internal/optimizer"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Triples(2, Config{})
+	b := Triples(2, Config{})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScaleGrowsLinearly(t *testing.T) {
+	n1 := len(Triples(1, Config{}))
+	n4 := len(Triples(4, Config{}))
+	if n4 < 3*n1 || n4 > 5*n1 {
+		t.Errorf("scale 4 = %d triples, scale 1 = %d; expected ~4x", n4, n1)
+	}
+	if n1 < 5000 {
+		t.Errorf("scale 1 only %d triples; density too low", n1)
+	}
+}
+
+func TestSeventeenPredicates(t *testing.T) {
+	preds := map[string]bool{}
+	Generate(1, Config{}, func(tr rdf.Triple) { preds[tr.P] = true })
+	if len(preds) != 17 {
+		t.Errorf("predicates = %d, want 17 (as the paper counts for LUBM)", len(preds))
+	}
+}
+
+func TestValidNTriples(t *testing.T) {
+	for _, tr := range Triples(1, Config{}) {
+		if rdf.KindOf(tr.S) != rdf.IRI {
+			t.Fatalf("subject %q not an IRI", tr.S)
+		}
+		if rdf.KindOf(tr.P) != rdf.IRI {
+			t.Fatalf("predicate %q not an IRI", tr.P)
+		}
+		if k := rdf.KindOf(tr.O); k != rdf.IRI && k != rdf.Literal {
+			t.Fatalf("object %q invalid", tr.O)
+		}
+	}
+}
+
+func TestAllQueriesParseAndReturnRows(t *testing.T) {
+	st := store.LoadTriples(Triples(4, Config{}), store.BuildOptions{})
+	s := stats.New(st)
+	for _, q := range Queries() {
+		parsed, err := sparql.Parse(q.SPARQL)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", q.Name, err)
+		}
+		plan, err := optimizer.Optimize(parsed, st, s)
+		if err != nil {
+			t.Fatalf("%s: optimize: %v", q.Name, err)
+		}
+		res, err := core.Execute(st, plan, core.Options{Threads: 2, Silent: true})
+		if err != nil {
+			t.Fatalf("%s: execute: %v", q.Name, err)
+		}
+		t.Logf("%s: %d rows", q.Name, res.Count)
+		if res.Count == 0 {
+			t.Errorf("%s: no results; query/generator mismatch", q.Name)
+		}
+	}
+}
+
+func TestSelectivityClasses(t *testing.T) {
+	st := store.LoadTriples(Triples(4, Config{}), store.BuildOptions{})
+	s := stats.New(st)
+	counts := map[string]int64{}
+	for _, q := range Queries() {
+		parsed, _ := sparql.Parse(q.SPARQL)
+		plan, _ := optimizer.Optimize(parsed, st, s)
+		res, err := core.Execute(st, plan, core.Options{Threads: 2, Silent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[q.Name] = res.Count
+	}
+	// The paper's selective queries must stay tiny, the heavy ones big.
+	for _, sel := range []string{"L4", "L5", "L6"} {
+		if counts[sel] > 500 {
+			t.Errorf("%s should be selective, returned %d rows", sel, counts[sel])
+		}
+	}
+	if counts["L7"] < 1000 {
+		t.Errorf("L7 should be a large query, returned %d rows", counts["L7"])
+	}
+	if counts["L2"] < 200 || counts["L2"] < 5*counts["L5"] {
+		t.Errorf("L2 (%d) should be large and dwarf L5 (%d)", counts["L2"], counts["L5"])
+	}
+}
+
+func TestQueryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, q := range Queries() {
+		if seen[q.Name] {
+			t.Errorf("duplicate query name %s", q.Name)
+		}
+		seen[q.Name] = true
+		if !strings.HasPrefix(q.Name, "L") {
+			t.Errorf("unexpected name %s", q.Name)
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("%d queries, want 10", len(seen))
+	}
+}

@@ -1,0 +1,689 @@
+package optimizer
+
+import (
+	"math"
+	"sort"
+
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+)
+
+// maxDPPatterns is the largest BGP optimized exhaustively; larger BGPs fall
+// back to a greedy ordering built from the same cost model.
+const maxDPPatterns = 13
+
+// cartesianPenalty multiplies the cost of extensions that share no variable
+// with the patterns joined so far.
+const cartesianPenalty = 10.0
+
+// Optimize plans q against st using statistics s.
+func Optimize(q *sparql.Query, st *store.Store, s *stats.Stats) (*Plan, error) {
+	return OptimizeExpanded(q, st, s, nil)
+}
+
+// OptimizeExpanded plans q with hierarchy expansion (paper §6): patterns
+// whose predicate has subproperties, or whose rdf:type object has
+// subclasses, are compiled to union steps over the expanded sets. Passing
+// a nil Expander is equivalent to Optimize.
+func OptimizeExpanded(q *sparql.Query, st *store.Store, s *stats.Stats, x Expander) (*Plan, error) {
+	if err := checkNamespaces(q); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Distinct: q.Distinct, Limit: q.Limit}
+	if q.HasLimit && q.Limit == 0 {
+		// LIMIT 0 is valid SPARQL and yields zero rows.
+		plan.Empty = true
+		finishProjection(plan, q, nil)
+		return plan, nil
+	}
+	infos, ok := lookupConstants(q, st, x)
+	if !ok {
+		plan.Empty = true
+		finishProjection(plan, q, nil)
+		return plan, nil
+	}
+	for i := range infos {
+		infos[i].baseCard = baseCardinality(&infos[i], st, s)
+	}
+
+	var order []int
+	var cost, card float64
+	if len(infos) <= maxDPPatterns {
+		order, cost, card = dpOrder(infos, st, s)
+	} else {
+		order, cost, card = greedyOrder(infos, st, s)
+	}
+	plan.EstCost, plan.EstCard = cost, card
+
+	buildPatternPlans(plan, q, infos, order, st, s)
+	return plan, nil
+}
+
+// baseCardinality estimates (exactly where a dictionary lookup suffices)
+// the result size of a single pattern. Hierarchy expansions are costed as
+// the sum over their members — an upper bound, since the union
+// deduplicates.
+func baseCardinality(in *patternInfo, st *store.Store, s *stats.Stats) float64 {
+	objects := []uint32{in.oID}
+	if in.oSet != nil {
+		objects = in.oSet
+	}
+	one := func(p uint32) float64 {
+		switch {
+		case in.sConst && in.oConst:
+			t := st.SO(p)
+			pos, ok := t.LookupKey(in.sID)
+			if !ok {
+				return 0
+			}
+			run := t.Run(pos)
+			for _, o := range objects {
+				i := sort.Search(len(run), func(i int) bool { return run[i] >= o })
+				if i < len(run) && run[i] == o {
+					return 1
+				}
+			}
+			return 0
+		case in.sConst:
+			return float64(s.CountExact(stats.Column{Pred: p, Subject: true}, in.sID))
+		case in.oConst:
+			total := 0.0
+			for _, o := range objects {
+				total += float64(s.CountExact(stats.Column{Pred: p, Subject: false}, o))
+			}
+			return total
+		default:
+			return float64(s.Triples(p))
+		}
+	}
+	if in.predConst {
+		if in.predSet != nil {
+			total := 0.0
+			for _, p := range in.predSet {
+				total += one(p)
+			}
+			return total
+		}
+		return one(in.predID)
+	}
+	total := 0.0
+	for p := 1; p <= st.NumPredicates(); p++ {
+		total += one(uint32(p))
+	}
+	return total
+}
+
+// joinState tracks the estimation state of a partial left-deep plan.
+type joinState struct {
+	order     []int
+	cost      float64
+	card      float64
+	dv        map[string]float64      // distinct-value estimates per bound var
+	origin    map[string]stats.Column // base column a var was first bound from
+	sortedVar string                  // var the tuple stream is sorted on
+	bound     map[string]bool
+
+	// While the partial plan is a pure subject-star (every pattern has the
+	// same subject variable, a constant predicate and a fresh object
+	// variable), starVar/starPreds track it so cardinalities come from the
+	// characteristic-set statistics, which are exact for such stars — the
+	// estimation upgrade the paper plans in §4.3.
+	starVar   string
+	starPreds []uint32
+}
+
+func (st1 *joinState) clone() *joinState {
+	cp := &joinState{
+		order:     append([]int(nil), st1.order...),
+		cost:      st1.cost,
+		card:      st1.card,
+		dv:        make(map[string]float64, len(st1.dv)),
+		origin:    make(map[string]stats.Column, len(st1.origin)),
+		sortedVar: st1.sortedVar,
+		bound:     make(map[string]bool, len(st1.bound)),
+		starVar:   st1.starVar,
+		starPreds: append([]uint32(nil), st1.starPreds...),
+	}
+	for k, v := range st1.dv {
+		cp.dv[k] = v
+	}
+	for k, v := range st1.origin {
+		cp.origin[k] = v
+	}
+	for k := range st1.bound {
+		cp.bound[k] = true
+	}
+	return cp
+}
+
+// startState initializes the estimation state with pattern i as the outer
+// (scanned) relation.
+func startState(infos []patternInfo, i int, st *store.Store, s *stats.Stats) *joinState {
+	in := &infos[i]
+	js := &joinState{
+		order:  []int{i},
+		cost:   in.baseCard,
+		card:   in.baseCard,
+		dv:     map[string]float64{},
+		origin: map[string]stats.Column{},
+		bound:  map[string]bool{},
+	}
+	for _, v := range in.vars {
+		js.bound[v] = true
+	}
+	if in.predVar != "" {
+		js.dv[in.predVar] = float64(st.NumPredicates())
+	}
+	if !in.predConst {
+		// Per-var stats below need a concrete predicate; with a variable
+		// predicate fall back to coarse totals.
+		if in.sVar != "" {
+			js.dv[in.sVar] = in.baseCard
+		}
+		if in.oVar != "" {
+			js.dv[in.oVar] = in.baseCard
+		}
+		if in.sVar != "" {
+			js.sortedVar = in.sVar
+		}
+		return js
+	}
+	p := in.predID
+	sCol := stats.Column{Pred: p, Subject: true}
+	oCol := stats.Column{Pred: p, Subject: false}
+	switch {
+	case in.sConst && in.oConst:
+		// No variables to bind.
+	case in.sConst:
+		// Scan the run of subjects' objects: stream sorted on the object.
+		if in.oVar != "" {
+			js.dv[in.oVar] = math.Min(in.baseCard, float64(s.Distinct(oCol)))
+			js.origin[in.oVar] = oCol
+			js.sortedVar = in.oVar
+		}
+	case in.oConst:
+		if in.sVar != "" {
+			js.dv[in.sVar] = math.Min(in.baseCard, float64(s.Distinct(sCol)))
+			js.origin[in.sVar] = sCol
+			js.sortedVar = in.sVar
+		}
+	default:
+		if in.sVar != "" {
+			js.dv[in.sVar] = float64(s.Distinct(sCol))
+			js.origin[in.sVar] = sCol
+			js.sortedVar = in.sVar
+		}
+		if in.oVar != "" {
+			js.dv[in.oVar] = float64(s.Distinct(oCol))
+			js.origin[in.oVar] = oCol
+		}
+	}
+	if isStarMember(in) {
+		js.starVar = in.sVar
+		js.starPreds = []uint32{in.predID}
+	}
+	return js
+}
+
+// isStarMember reports whether a pattern can participate in exact
+// characteristic-set estimation: constant unexpanded predicate, variable
+// subject, fresh variable object distinct from the subject.
+func isStarMember(in *patternInfo) bool {
+	return in.predConst && in.predSet == nil &&
+		in.sVar != "" && !in.sConst &&
+		in.oVar != "" && !in.oConst && in.oVar != in.sVar
+}
+
+// extend returns a new state with pattern j joined onto js, or a cartesian
+// penalty if no variable is shared.
+func extend(js *joinState, infos []patternInfo, j int, st *store.Store, s *stats.Stats) *joinState {
+	in := &infos[j]
+	next := js.clone()
+	next.order = append(next.order, j)
+
+	shared := false
+	for _, v := range in.vars {
+		if js.bound[v] {
+			shared = true
+			break
+		}
+	}
+
+	if !in.predConst {
+		// Variable-predicate probe: a union over all predicates. Cost it
+		// coarsely as a scan of the pattern's base cardinality per input
+		// tuple fraction.
+		out := js.card * math.Max(1, in.baseCard/math.Max(1, js.card))
+		if !shared {
+			out = js.card * in.baseCard
+		}
+		next.cost += js.card*math.Log2(2+in.baseCard) + out
+		if !shared {
+			next.cost *= cartesianPenalty
+		}
+		next.card = out
+		for _, v := range in.vars {
+			if !next.bound[v] {
+				next.bound[v] = true
+				next.dv[v] = out
+			}
+		}
+		return next
+	}
+
+	p := in.predID
+	sCol := stats.Column{Pred: p, Subject: true}
+	oCol := stats.Column{Pred: p, Subject: false}
+	sBound := in.sVar != "" && js.bound[in.sVar]
+	oBound := in.oVar != "" && js.bound[in.oVar]
+
+	// Replica choice mirrors buildPatternPlans: constants first, then
+	// bound variables (more-distinct column preferred), subject default.
+	var keyCol, valCol stats.Column
+	var keyVar, valVar string
+	var keyConst, valConst bool
+	var valConstID uint32
+	switch {
+	case in.sConst:
+		keyCol, valCol = sCol, oCol
+		keyConst = true
+		valVar = in.oVar
+		if in.oConst {
+			valConst, valConstID = true, in.oID
+		}
+	case in.oConst:
+		keyCol, valCol = oCol, sCol
+		keyConst = true
+		valVar = in.sVar
+	case sBound && oBound:
+		if s.Distinct(sCol) >= s.Distinct(oCol) {
+			keyCol, valCol = sCol, oCol
+			keyVar, valVar = in.sVar, in.oVar
+		} else {
+			keyCol, valCol = oCol, sCol
+			keyVar, valVar = in.oVar, in.sVar
+		}
+	case sBound:
+		keyCol, valCol = sCol, oCol
+		keyVar, valVar = in.sVar, in.oVar
+	case oBound:
+		keyCol, valCol = oCol, sCol
+		keyVar, valVar = in.oVar, in.sVar
+	default:
+		keyCol, valCol = sCol, oCol
+		keyVar, valVar = in.sVar, in.oVar
+	}
+
+	nKeys := float64(s.Distinct(keyCol))
+	nTriples := float64(s.Triples(p))
+
+	var out float64
+	var probeCost float64
+	switch {
+	case keyConst || !js.bound[keyVar] || keyVar == "":
+		// No probe on the key: this is a cartesian-style extension with a
+		// (possibly constant-restricted) base pattern.
+		out = js.card * math.Max(in.baseCard, 0)
+		probeCost = js.card + in.baseCard
+	default:
+		// Probe on bound key variable.
+		if org, ok := js.origin[keyVar]; ok {
+			j := s.PairCardinality(org, keyCol)
+			nOrg := float64(s.Triples(org.Pred))
+			if nOrg > 0 {
+				out = js.card * j / nOrg
+			}
+		} else {
+			dvk := math.Max(js.dv[keyVar], 1)
+			out = js.card * nTriples / math.Max(dvk, nKeys)
+		}
+		logCost := math.Log2(2 + nKeys)
+		if keyVar == js.sortedVar {
+			probeCost = math.Min(js.card*logCost, nKeys+js.card)
+		} else {
+			probeCost = js.card * logCost
+		}
+	}
+	// Value-side restrictions.
+	if valConst && nTriples > 0 {
+		out *= float64(s.CountExact(valCol, valConstID)) / nTriples
+	} else if valVar != "" && js.bound[valVar] && valVar != keyVar {
+		out /= math.Max(1, math.Max(js.dv[valVar], float64(s.Distinct(valCol))))
+	} else if valVar == keyVar && valVar != "" {
+		// Same variable on both columns (?x p ?x).
+		out /= math.Max(1, nKeys)
+	}
+	if out < 0 {
+		out = 0
+	}
+
+	// A star extension (same subject variable, fresh object) gets the
+	// exact characteristic-set cardinality instead of the estimate.
+	if js.starVar != "" && isStarMember(in) && in.sVar == js.starVar && !js.bound[in.oVar] {
+		next.starPreds = append(next.starPreds[:len(js.starPreds):len(js.starPreds)], in.predID)
+		_, rows := s.CharSets().EstimateStar(next.starPreds)
+		out = rows
+	} else {
+		next.starVar = ""
+		next.starPreds = nil
+	}
+
+	next.cost += probeCost + out
+	if !shared {
+		next.cost += js.card * in.baseCard * cartesianPenalty
+		out = js.card * math.Max(in.baseCard, 1)
+	}
+	next.card = out
+
+	// Update bindings and distinct estimates.
+	if keyVar != "" {
+		if next.bound[keyVar] {
+			next.dv[keyVar] = math.Min(math.Max(js.dv[keyVar], 1), nKeys)
+		} else {
+			next.bound[keyVar] = true
+			next.dv[keyVar] = math.Min(out, nKeys)
+			next.origin[keyVar] = keyCol
+		}
+	}
+	if valVar != "" && valVar != keyVar {
+		if !next.bound[valVar] {
+			next.bound[valVar] = true
+			next.dv[valVar] = math.Min(out, float64(s.Distinct(valCol)))
+			next.origin[valVar] = valCol
+		}
+	}
+	return next
+}
+
+// dpOrder runs the bottom-up dynamic program over pattern subsets and
+// returns the cheapest left-deep order.
+func dpOrder(infos []patternInfo, st *store.Store, s *stats.Stats) ([]int, float64, float64) {
+	n := len(infos)
+	best := make(map[int]*joinState, 1<<n)
+	for i := 0; i < n; i++ {
+		st1 := startState(infos, i, st, s)
+		mask := 1 << i
+		if cur, ok := best[mask]; !ok || st1.cost < cur.cost {
+			best[mask] = st1
+		}
+	}
+	full := (1 << n) - 1
+	// Iterate masks in increasing popcount order by plain numeric order:
+	// any mask's subsets are numerically smaller, so a single ascending
+	// sweep sees every predecessor first.
+	for mask := 1; mask <= full; mask++ {
+		cur, ok := best[mask]
+		if !ok {
+			continue
+		}
+		// Prefer connected extensions; fall back to cartesian ones only if
+		// none exists (the cost penalty already disfavors them, this just
+		// prunes the search).
+		var connected []int
+		var others []int
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				continue
+			}
+			sharesVar := false
+			for _, v := range infos[j].vars {
+				if cur.bound[v] {
+					sharesVar = true
+					break
+				}
+			}
+			if sharesVar {
+				connected = append(connected, j)
+			} else {
+				others = append(others, j)
+			}
+		}
+		candidates := connected
+		if len(candidates) == 0 {
+			candidates = others
+		}
+		for _, j := range candidates {
+			nm := mask | 1<<j
+			ns := extend(cur, infos, j, st, s)
+			if prev, ok := best[nm]; !ok || ns.cost < prev.cost {
+				best[nm] = ns
+			}
+		}
+	}
+	final := best[full]
+	if final == nil {
+		// Unreachable with the connected-first strategy, but fall back to
+		// textual order rather than crash.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order, math.Inf(1), math.Inf(1)
+	}
+	return final.order, final.cost, final.card
+}
+
+// greedyOrder builds an order for large BGPs: cheapest base pattern first,
+// then repeatedly the connected extension with the lowest resulting cost.
+func greedyOrder(infos []patternInfo, st *store.Store, s *stats.Stats) ([]int, float64, float64) {
+	n := len(infos)
+	used := make([]bool, n)
+	start := 0
+	for i := 1; i < n; i++ {
+		if infos[i].baseCard < infos[start].baseCard {
+			start = i
+		}
+	}
+	cur := startState(infos, start, st, s)
+	used[start] = true
+	for len(cur.order) < n {
+		bestJ := -1
+		var bestState *joinState
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			cand := extend(cur, infos, j, st, s)
+			if bestState == nil || cand.cost < bestState.cost {
+				bestState, bestJ = cand, j
+			}
+		}
+		cur = bestState
+		used[bestJ] = true
+	}
+	return cur.order, cur.cost, cur.card
+}
+
+// buildPatternPlans converts the chosen order into executable PatternPlans,
+// assigning binding slots and replica choices.
+func buildPatternPlans(plan *Plan, q *sparql.Query, infos []patternInfo, order []int, st *store.Store, s *stats.Stats) {
+	slotOf := map[string]int{}
+	slotIsPred := map[int]bool{}
+	newSlot := func(v string, isPred bool) int {
+		sl, ok := slotOf[v]
+		if !ok {
+			sl = len(slotOf)
+			slotOf[v] = sl
+			slotIsPred[sl] = isPred
+		}
+		return sl
+	}
+	sortedVar := ""
+	for step, idx := range order {
+		in := &infos[idx]
+		pp := PatternPlan{PredSlot: -1, KeyConstPos: -1, Source: in.tp}
+
+		if in.predConst {
+			pp.PredID = in.predID
+			pp.PredUnion = in.predSet
+		} else {
+			if _, ok := slotOf[in.predVar]; !ok {
+				pp.PredNew = true
+			}
+			pp.PredSlot = newSlot(in.predVar, true)
+		}
+
+		sBound := in.sVar != "" && contains(slotOf, in.sVar)
+		oBound := in.oVar != "" && contains(slotOf, in.oVar)
+
+		// Replica choice: constants first, then bound variables (prefer
+		// the more selective — more distinct keys — column), subject
+		// default. With a constant object the O-S replica is chosen, as in
+		// Example 3.2 of the paper.
+		useOS := false
+		switch {
+		case in.sConst:
+			useOS = false
+		case in.oConst:
+			useOS = true
+		case sBound && oBound:
+			if in.predConst {
+				useOS = s.Distinct(stats.Column{Pred: in.predID, Subject: false}) >
+					s.Distinct(stats.Column{Pred: in.predID, Subject: true})
+			}
+		case sBound:
+			useOS = false
+		case oBound:
+			useOS = true
+		default:
+			// Neither bound (first pattern or cartesian step): prefer the
+			// replica whose key is the variable the *next* pattern joins
+			// on, so the probe stream arrives sorted (paper §3, Ex. 3.1).
+			if step+1 < len(order) && in.sVar != "" && in.oVar != "" {
+				nextVars := infos[order[step+1]].vars
+				for _, v := range nextVars {
+					if v == in.sVar {
+						useOS = false
+						break
+					}
+					if v == in.oVar {
+						useOS = true
+						break
+					}
+				}
+			}
+		}
+		pp.UseOS = useOS
+
+		keyIsSubject := !useOS
+		keyTerm, valTerm := termOf(in, keyIsSubject), termOf(in, !keyIsSubject)
+
+		pp.Key = makeTermPlan(keyTerm, in, keyIsSubject, slotOf, newSlot)
+		pp.Val = makeTermPlan(valTerm, in, !keyIsSubject, slotOf, newSlot)
+
+		// Resolve constant keys against the table now (single-table,
+		// single-constant patterns only; expanded patterns resolve their
+		// union members at run time).
+		if pp.Key.Kind == Const && in.predConst && !pp.Expanded() {
+			t := tableOf(st, pp.PredID, useOS)
+			pos, ok := t.LookupKey(pp.Key.Const)
+			if !ok {
+				plan.Empty = true
+			} else {
+				pp.KeyConstPos = pos
+			}
+		}
+		// A fully constant, non-expanded pattern with a constant predicate
+		// is a plan-time membership test: verified here and dropped.
+		if in.predConst && pp.Key.Kind == Const && pp.Val.Kind == Const && !pp.Expanded() {
+			if !plan.Empty && pp.KeyConstPos >= 0 {
+				t := tableOf(st, pp.PredID, useOS)
+				run := t.Run(pp.KeyConstPos)
+				i := sort.Search(len(run), func(i int) bool { return run[i] >= pp.Val.Const })
+				if !(i < len(run) && run[i] == pp.Val.Const) {
+					plan.Empty = true
+				}
+			}
+			continue // tautology (or Empty): no runtime step needed
+		}
+
+		// Sorted-probe bookkeeping for explain output.
+		if step == 0 {
+			switch {
+			case pp.Key.Kind == Const && pp.Val.Kind == NewVar:
+				sortedVar = varName(in, !keyIsSubject)
+			case pp.Key.Kind == NewVar:
+				sortedVar = varName(in, keyIsSubject)
+			}
+		} else if pp.Key.Kind == BoundVar && varName(in, keyIsSubject) == sortedVar {
+			pp.SortedProbe = true
+		}
+
+		plan.Patterns = append(plan.Patterns, pp)
+	}
+	finishProjection(plan, q, slotOf)
+	plan.NumSlots = len(slotOf)
+	plan.SlotVars = make([]string, len(slotOf))
+	plan.SlotIsPred = make([]bool, len(slotOf))
+	for v, sl := range slotOf {
+		plan.SlotVars[sl] = v
+		plan.SlotIsPred[sl] = slotIsPred[sl]
+	}
+}
+
+// finishProjection fills plan.Project. For Empty plans slotOf may be nil:
+// slots are synthesized from the query so result headers stay correct.
+func finishProjection(plan *Plan, q *sparql.Query, slotOf map[string]int) {
+	if slotOf == nil {
+		slotOf = map[string]int{}
+		for _, v := range q.Vars() {
+			slotOf[v] = len(slotOf)
+		}
+		plan.NumSlots = len(slotOf)
+		plan.SlotVars = make([]string, len(slotOf))
+		plan.SlotIsPred = make([]bool, len(slotOf))
+		for v, sl := range slotOf {
+			plan.SlotVars[sl] = v
+		}
+		// Predicate-position variables still need their flag for correct
+		// decoding of (empty) headers; recompute from the query.
+		for _, tp := range q.Patterns {
+			if tp.P.IsVar() {
+				plan.SlotIsPred[slotOf[tp.P.Var]] = true
+			}
+		}
+	}
+	for _, v := range q.Projection() {
+		plan.Project = append(plan.Project, slotOf[v])
+	}
+}
+
+func contains(m map[string]int, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func termOf(in *patternInfo, subject bool) sparql.Term {
+	if subject {
+		return in.tp.S
+	}
+	return in.tp.O
+}
+
+func varName(in *patternInfo, subject bool) string {
+	if subject {
+		return in.sVar
+	}
+	return in.oVar
+}
+
+func makeTermPlan(t sparql.Term, in *patternInfo, subject bool, slotOf map[string]int, newSlot func(string, bool) int) TermPlan {
+	if !t.IsVar() {
+		if subject {
+			return TermPlan{Kind: Const, Const: in.sID}
+		}
+		return TermPlan{Kind: Const, Const: in.oID, Set: in.oSet}
+	}
+	if sl, ok := slotOf[t.Var]; ok {
+		return TermPlan{Kind: BoundVar, Slot: sl}
+	}
+	return TermPlan{Kind: NewVar, Slot: newSlot(t.Var, false)}
+}
+
+func tableOf(st *store.Store, pred uint32, useOS bool) *store.Table {
+	if useOS {
+		return st.OS(pred)
+	}
+	return st.SO(pred)
+}

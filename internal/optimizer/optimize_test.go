@@ -1,0 +1,226 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"parj/internal/rdf"
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+)
+
+// fixtureStore builds a store where <rare> has 2 triples and <common> has
+// 200, so selectivity-based ordering decisions are unambiguous.
+func fixtureStore() (*store.Store, *stats.Stats) {
+	var triples []rdf.Triple
+	for i := 0; i < 200; i++ {
+		triples = append(triples, rdf.Triple{
+			S: fmt.Sprintf("<s%d>", i), P: "<common>", O: fmt.Sprintf("<o%d>", i%50),
+		})
+	}
+	triples = append(triples,
+		rdf.Triple{S: "<s0>", P: "<rare>", O: "<x>"},
+		rdf.Triple{S: "<s1>", P: "<rare>", O: "<x>"},
+	)
+	st := store.LoadTriples(triples, store.BuildOptions{})
+	return st, stats.New(st)
+}
+
+func plan(t *testing.T, st *store.Store, s *stats.Stats, src string) *Plan {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Optimize(q, st, s)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return p
+}
+
+func TestSelectivePatternFirst(t *testing.T) {
+	st, s := fixtureStore()
+	p := plan(t, st, s, `SELECT ?a ?b WHERE { ?a <common> ?b . ?a <rare> ?x }`)
+	if len(p.Patterns) != 2 {
+		t.Fatalf("patterns = %d", len(p.Patterns))
+	}
+	if !strings.Contains(p.Patterns[0].Source.String(), "rare") {
+		t.Errorf("optimizer did not start with the selective pattern:\n%s", p.Explain())
+	}
+}
+
+func TestConstantObjectUsesOSReplica(t *testing.T) {
+	st, s := fixtureStore()
+	p := plan(t, st, s, `SELECT ?a WHERE { ?a <rare> <x> }`)
+	if !p.Patterns[0].UseOS {
+		t.Errorf("constant object should select the O-S replica:\n%s", p.Explain())
+	}
+	if p.Patterns[0].Key.Kind != Const {
+		t.Errorf("key kind = %v, want Const", p.Patterns[0].Key.Kind)
+	}
+	if p.Patterns[0].KeyConstPos < 0 {
+		t.Errorf("KeyConstPos not resolved")
+	}
+}
+
+func TestConstantSubjectUsesSOReplica(t *testing.T) {
+	st, s := fixtureStore()
+	p := plan(t, st, s, `SELECT ?b WHERE { <s0> <common> ?b }`)
+	if p.Patterns[0].UseOS {
+		t.Error("constant subject should select the S-O replica")
+	}
+}
+
+func TestUnknownConstantYieldsEmptyPlan(t *testing.T) {
+	st, s := fixtureStore()
+	for _, src := range []string{
+		`SELECT ?a WHERE { ?a <nosuch> ?b }`,
+		`SELECT ?a WHERE { ?a <common> <nosuchobj> }`,
+		`SELECT ?b WHERE { <nosuchsubj> <common> ?b }`,
+	} {
+		p := plan(t, st, s, src)
+		if !p.Empty {
+			t.Errorf("%s: plan not Empty", src)
+		}
+		if len(p.Project) == 0 {
+			t.Errorf("%s: empty plan lost projection header", src)
+		}
+	}
+}
+
+func TestKnownConstantAbsentFromTableYieldsEmpty(t *testing.T) {
+	st, s := fixtureStore()
+	// <x> exists (object of rare) but is not a subject of common.
+	p := plan(t, st, s, `SELECT ?b WHERE { <x> <common> ?b }`)
+	if !p.Empty {
+		t.Error("constant key absent from table should make the plan Empty")
+	}
+}
+
+func TestAllConstantPatternDropped(t *testing.T) {
+	st, s := fixtureStore()
+	p := plan(t, st, s, `SELECT ?b WHERE { <s0> <rare> <x> . ?b <common> ?c }`)
+	if p.Empty {
+		t.Fatal("plan should not be empty: the constant pattern holds")
+	}
+	if len(p.Patterns) != 1 {
+		t.Errorf("verified constant pattern should be dropped, got %d patterns", len(p.Patterns))
+	}
+	p = plan(t, st, s, `SELECT ?b WHERE { <s0> <rare> <o1> . ?b <common> ?c }`)
+	if !p.Empty {
+		t.Error("false constant pattern should make the plan Empty")
+	}
+}
+
+func TestSlotsAndProjection(t *testing.T) {
+	st, s := fixtureStore()
+	p := plan(t, st, s, `SELECT ?x ?a WHERE { ?a <common> ?b . ?a <rare> ?x }`)
+	if p.NumSlots != 3 {
+		t.Errorf("NumSlots = %d, want 3", p.NumSlots)
+	}
+	if len(p.Project) != 2 {
+		t.Fatalf("Project = %v", p.Project)
+	}
+	if p.SlotVars[p.Project[0]] != "x" || p.SlotVars[p.Project[1]] != "a" {
+		t.Errorf("projection decodes to %q,%q; want x,a",
+			p.SlotVars[p.Project[0]], p.SlotVars[p.Project[1]])
+	}
+}
+
+func TestPredicateVariableSlotMarked(t *testing.T) {
+	st, s := fixtureStore()
+	p := plan(t, st, s, `SELECT ?p WHERE { <s0> ?p ?o }`)
+	found := false
+	for sl, name := range p.SlotVars {
+		if name == "p" {
+			found = true
+			if !p.SlotIsPred[sl] {
+				t.Error("predicate variable slot not marked")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("predicate variable slot missing")
+	}
+}
+
+func TestNamespaceMixRejected(t *testing.T) {
+	st, s := fixtureStore()
+	q, err := sparql.Parse(`SELECT ?v WHERE { ?s ?v ?o . ?v <common> ?w }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(q, st, s); err == nil {
+		t.Error("namespace mix accepted")
+	} else if _, ok := err.(*UnsupportedError); !ok {
+		t.Errorf("error type %T, want *UnsupportedError", err)
+	}
+}
+
+func TestOrderCoversAllPatterns(t *testing.T) {
+	st, s := fixtureStore()
+	p := plan(t, st, s, `SELECT * WHERE {
+		?a <common> ?b . ?b <common> ?c . ?c <common> ?d . ?a <rare> ?x }`)
+	if len(p.Patterns) != 4 {
+		t.Errorf("patterns = %d, want 4", len(p.Patterns))
+	}
+	seen := map[string]bool{}
+	for _, pp := range p.Patterns {
+		seen[pp.Source.String()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("duplicate or missing patterns in order: %v", seen)
+	}
+}
+
+func TestGreedyPathForLargeBGP(t *testing.T) {
+	st, s := fixtureStore()
+	// 15 patterns exceeds maxDPPatterns and exercises greedyOrder.
+	var sb strings.Builder
+	sb.WriteString(`SELECT ?v0 WHERE { ?v0 <rare> ?x .`)
+	for i := 0; i < 14; i++ {
+		fmt.Fprintf(&sb, " ?v%d <common> ?v%d .", i, i+1)
+	}
+	sb.WriteString(" }")
+	p := plan(t, st, s, sb.String())
+	if len(p.Patterns) != 15 {
+		t.Errorf("patterns = %d, want 15", len(p.Patterns))
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	st, s := fixtureStore()
+	p := plan(t, st, s, `SELECT ?a WHERE { ?a <rare> <x> . ?a <common> ?b }`)
+	exp := p.Explain()
+	if !strings.Contains(exp, "O-S") || !strings.Contains(exp, "cost=") {
+		t.Errorf("Explain output missing details:\n%s", exp)
+	}
+	pe := plan(t, st, s, `SELECT ?a WHERE { ?a <nosuch> ?b }`)
+	if !strings.Contains(pe.Explain(), "empty") {
+		t.Errorf("empty plan explain: %s", pe.Explain())
+	}
+}
+
+func TestSortedProbeDetected(t *testing.T) {
+	st, s := fixtureStore()
+	// Subject-subject join: the probe stream for the second pattern is the
+	// key order of the first — fully sorted.
+	p := plan(t, st, s, `SELECT * WHERE { ?a <common> ?b . ?a <common> ?c }`)
+	if len(p.Patterns) != 2 {
+		t.Fatalf("patterns = %d", len(p.Patterns))
+	}
+	if !p.Patterns[1].SortedProbe {
+		t.Errorf("subject-subject join probe should be SortedProbe:\n%s", p.Explain())
+	}
+}
+
+func TestEstimatesPositive(t *testing.T) {
+	st, s := fixtureStore()
+	p := plan(t, st, s, `SELECT ?a ?b WHERE { ?a <common> ?b . ?a <rare> ?x }`)
+	if p.EstCost <= 0 || p.EstCard < 0 {
+		t.Errorf("cost=%f card=%f", p.EstCost, p.EstCard)
+	}
+}

@@ -1,0 +1,128 @@
+// Package posindex implements the ID-to-Position index of PARJ (paper §4.2).
+//
+// Given a sorted array of distinct IDs (the key array of an S-O or O-S
+// table), the index answers "at which array position does ID p sit?" in
+// O(1) without binary search. It is a rank bitmap: one presence bit per ID
+// in the dictionary's ID space plus an anchor integer every Interval bits
+// holding the number of set bits before the block. A lookup reads one
+// anchor and popcounts at most Interval bits — with the paper's layout
+// (anchor + following bits packed per cache line) that is a single memory
+// access plus popcount instructions.
+//
+// Memory use is N/8 + (N/Interval)·4 bytes for a dictionary with N IDs,
+// matching the paper's formula (§4.2). The paper uses Interval = 480 so
+// that a 4-byte anchor plus 60 bytes of bits fill one 64-byte cache line;
+// Go gives no control over that packing, so we default to 512 (a multiple
+// of 64) which preserves the same arithmetic.
+package posindex
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DefaultInterval is the default anchor spacing in bits.
+const DefaultInterval = 512
+
+// Index is an immutable ID-to-Position index over one table's key array.
+// It is safe for concurrent lookups.
+type Index struct {
+	words    []uint64 // presence bitmap, bit id set iff id is a key
+	anchors  []uint32 // anchors[k] = number of set bits in [0, k*interval)
+	interval uint32   // anchor spacing in bits; multiple of 64
+	maxID    uint32   // largest representable ID
+}
+
+// Build constructs the index for the given sorted, distinct key array over
+// an ID space of [1, maxID]. Interval must be a positive multiple of 64;
+// pass 0 for DefaultInterval. Keys outside [1, maxID] are a programming
+// error and cause a panic.
+func Build(keys []uint32, maxID uint32, interval int) *Index {
+	if interval == 0 {
+		interval = DefaultInterval
+	}
+	if interval <= 0 || interval%64 != 0 {
+		panic(fmt.Sprintf("posindex: interval %d must be a positive multiple of 64", interval))
+	}
+	nbits := uint64(maxID) + 1 // bit 0 unused; IDs start at 1
+	nwords := (nbits + 63) / 64
+	x := &Index{
+		words:    make([]uint64, nwords),
+		interval: uint32(interval),
+		maxID:    maxID,
+	}
+	prev := uint32(0)
+	for _, k := range keys {
+		if k == 0 || k > maxID {
+			panic(fmt.Sprintf("posindex: key %d outside ID space [1,%d]", k, maxID))
+		}
+		if k <= prev && prev != 0 {
+			panic(fmt.Sprintf("posindex: keys not sorted/distinct at %d", k))
+		}
+		prev = k
+		x.words[k/64] |= 1 << (k % 64)
+	}
+	nblocks := (nbits + uint64(interval) - 1) / uint64(interval)
+	x.anchors = make([]uint32, nblocks+1)
+	wordsPerBlock := interval / 64
+	rank := uint32(0)
+	for b := uint64(0); b < nblocks; b++ {
+		x.anchors[b] = rank
+		start := int(b) * wordsPerBlock
+		end := start + wordsPerBlock
+		if end > len(x.words) {
+			end = len(x.words)
+		}
+		for _, w := range x.words[start:end] {
+			rank += uint32(bits.OnesCount64(w))
+		}
+	}
+	x.anchors[nblocks] = rank
+	return x
+}
+
+// Lookup returns the position of id in the key array the index was built
+// from, and whether id is present. IDs outside the ID space return
+// (0, false).
+func (x *Index) Lookup(id uint32) (int, bool) {
+	if id == 0 || id > x.maxID {
+		return 0, false
+	}
+	word := x.words[id/64]
+	bit := uint64(1) << (id % 64)
+	if word&bit == 0 {
+		return 0, false
+	}
+	block := id / x.interval
+	rank := x.anchors[block]
+	// Count set bits from the block start up to (and excluding) id.
+	firstWord := int(block * (x.interval / 64))
+	lastWord := int(id / 64)
+	for w := firstWord; w < lastWord; w++ {
+		rank += uint32(bits.OnesCount64(x.words[w]))
+	}
+	rank += uint32(bits.OnesCount64(word & (bit - 1)))
+	return int(rank), true
+}
+
+// Contains reports whether id is present, without computing its position.
+func (x *Index) Contains(id uint32) bool {
+	if id == 0 || id > x.maxID {
+		return false
+	}
+	return x.words[id/64]&(1<<(id%64)) != 0
+}
+
+// Count returns the number of keys indexed.
+func (x *Index) Count() int {
+	return int(x.anchors[len(x.anchors)-1])
+}
+
+// Bytes reports the memory footprint of the index payload, for comparison
+// with the paper's N/8 + (N/A)·M formula.
+func (x *Index) Bytes() int {
+	return len(x.words)*8 + len(x.anchors)*4
+}
+
+// Interval returns the anchor spacing in bits.
+func (x *Index) Interval() int { return int(x.interval) }

@@ -1,0 +1,190 @@
+package posindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomKeys(rng *rand.Rand, n int, maxID uint32) []uint32 {
+	seen := make(map[uint32]bool, n)
+	for len(seen) < n {
+		seen[uint32(1+rng.Intn(int(maxID)))] = true
+	}
+	keys := make([]uint32, 0, n)
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func TestLookupAllPresentKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const maxID = 100000
+	keys := randomKeys(rng, 5000, maxID)
+	for _, interval := range []int{64, 128, 512, 4096} {
+		x := Build(keys, maxID, interval)
+		for i, k := range keys {
+			pos, ok := x.Lookup(k)
+			if !ok || pos != i {
+				t.Fatalf("interval %d: Lookup(%d) = (%d,%v), want (%d,true)", interval, k, pos, ok, i)
+			}
+		}
+		if x.Count() != len(keys) {
+			t.Fatalf("Count = %d, want %d", x.Count(), len(keys))
+		}
+	}
+}
+
+func TestLookupAbsentKeys(t *testing.T) {
+	keys := []uint32{2, 5, 9, 1000, 65537}
+	x := Build(keys, 70000, 0)
+	for _, absent := range []uint32{0, 1, 3, 4, 6, 999, 1001, 65536, 65538, 70000, 70001, 1 << 30} {
+		if _, ok := x.Lookup(absent); ok {
+			t.Errorf("Lookup(%d) found, want absent", absent)
+		}
+		if x.Contains(absent) {
+			t.Errorf("Contains(%d) = true, want false", absent)
+		}
+	}
+	for _, present := range keys {
+		if !x.Contains(present) {
+			t.Errorf("Contains(%d) = false, want true", present)
+		}
+	}
+}
+
+func TestEmptyKeys(t *testing.T) {
+	x := Build(nil, 1000, 0)
+	if x.Count() != 0 {
+		t.Errorf("Count = %d, want 0", x.Count())
+	}
+	if _, ok := x.Lookup(500); ok {
+		t.Error("Lookup on empty index found something")
+	}
+}
+
+func TestBoundaryIDs(t *testing.T) {
+	const maxID = 1024
+	keys := []uint32{1, 63, 64, 65, 511, 512, 513, 1023, 1024}
+	x := Build(keys, maxID, 512)
+	for i, k := range keys {
+		pos, ok := x.Lookup(k)
+		if !ok || pos != i {
+			t.Errorf("Lookup(%d) = (%d,%v), want (%d,true)", k, pos, ok, i)
+		}
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	cases := []struct {
+		name     string
+		keys     []uint32
+		maxID    uint32
+		interval int
+	}{
+		{"zero key", []uint32{0, 1}, 10, 0},
+		{"key beyond maxID", []uint32{11}, 10, 0},
+		{"unsorted", []uint32{5, 3}, 10, 0},
+		{"duplicate", []uint32{3, 3}, 10, 0},
+		{"bad interval", []uint32{1}, 10, 100},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("Build did not panic")
+				}
+			}()
+			Build(c.keys, c.maxID, c.interval)
+		})
+	}
+}
+
+func TestBytesMatchesFormula(t *testing.T) {
+	const maxID = 1 << 20
+	x := Build([]uint32{1, maxID}, maxID, 512)
+	// N/8 bitmap bytes plus one 4-byte anchor per 512-bit block (+1 slack
+	// word/anchor for the unused bit 0 and the closing anchor).
+	wantWords := (maxID/64 + 1) * 8
+	wantAnchors := (maxID/512 + 2) * 4
+	if got := x.Bytes(); got > wantWords+wantAnchors+16 {
+		t.Errorf("Bytes = %d, want about %d", got, wantWords+wantAnchors)
+	}
+	if x.Interval() != 512 {
+		t.Errorf("Interval = %d, want 512", x.Interval())
+	}
+}
+
+// Property: Lookup(k) equals the position of k in the key slice for every
+// key, and misses for every non-key, under random key sets and intervals.
+func TestQuickLookupEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64, sizeSeed uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		maxID := uint32(64 + r.Intn(1<<16))
+		n := int(sizeSeed) % 2000
+		if uint32(n) > maxID {
+			n = int(maxID)
+		}
+		keys := randomKeys(r, n, maxID)
+		intervals := []int{64, 512, 1024}
+		x := Build(keys, maxID, intervals[r.Intn(len(intervals))])
+		// All keys found at the right position.
+		for i, k := range keys {
+			pos, ok := x.Lookup(k)
+			if !ok || pos != i {
+				return false
+			}
+		}
+		// Random probes agree with sort.SearchInts semantics.
+		for trial := 0; trial < 200; trial++ {
+			probe := uint32(rng.Intn(int(maxID) + 2))
+			i := sort.Search(len(keys), func(j int) bool { return keys[j] >= probe })
+			want := i < len(keys) && keys[i] == probe
+			pos, ok := x.Lookup(probe)
+			if ok != want {
+				return false
+			}
+			if ok && pos != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const maxID = 1 << 22
+	keys := randomKeys(rng, 1<<18, maxID)
+	x := Build(keys, maxID, 512)
+	probes := make([]uint32, 1024)
+	for i := range probes {
+		probes[i] = keys[rng.Intn(len(keys))]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Lookup(probes[i&1023])
+	}
+}
+
+func BenchmarkBinarySearchComparison(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const maxID = 1 << 22
+	keys := randomKeys(rng, 1<<18, maxID)
+	probes := make([]uint32, 1024)
+	for i := range probes {
+		probes[i] = keys[rng.Intn(len(keys))]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := probes[i&1023]
+		sort.Search(len(keys), func(j int) bool { return keys[j] >= p })
+	}
+}

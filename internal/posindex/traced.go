@@ -1,0 +1,41 @@
+package posindex
+
+import "math/bits"
+
+// Tracer observes simulated memory accesses; it matches search.Tracer and
+// is implemented by cachesim.Hierarchy.
+type Tracer interface {
+	Access(addr uint64)
+}
+
+// Bases are the simulated base addresses of an index's two payload arrays.
+// They only need to be disjoint from each other and from the table arrays.
+type Bases struct {
+	Words   uint64
+	Anchors uint64
+}
+
+// LookupTraced is Lookup with every word and anchor access reported to t.
+func (x *Index) LookupTraced(id uint32, b Bases, t Tracer) (int, bool) {
+	if id == 0 || id > x.maxID {
+		return 0, false
+	}
+	wi := id / 64
+	t.Access(b.Words + uint64(wi)*8)
+	word := x.words[wi]
+	bit := uint64(1) << (id % 64)
+	if word&bit == 0 {
+		return 0, false
+	}
+	block := id / x.interval
+	t.Access(b.Anchors + uint64(block)*4)
+	rank := x.anchors[block]
+	firstWord := int(block * (x.interval / 64))
+	lastWord := int(id / 64)
+	for w := firstWord; w < lastWord; w++ {
+		t.Access(b.Words + uint64(w)*8)
+		rank += uint32(bits.OnesCount64(x.words[w]))
+	}
+	rank += uint32(bits.OnesCount64(word & (bit - 1)))
+	return int(rank), true
+}

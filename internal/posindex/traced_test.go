@@ -1,0 +1,59 @@
+package posindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type countingTracer struct{ n int }
+
+func (c *countingTracer) Access(uint64) { c.n++ }
+
+// Property: LookupTraced agrees with Lookup for every probe.
+func TestQuickTracedEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		maxID := uint32(64 + r.Intn(1<<14))
+		n := r.Intn(500)
+		if uint32(n) > maxID/2 {
+			// randomKeys draws distinct IDs from [1, maxID]; asking for
+			// more than the space holds would loop forever.
+			n = int(maxID / 2)
+		}
+		keys := randomKeys(r, n, maxID)
+		x := Build(keys, maxID, 512)
+		tr := &countingTracer{}
+		b := Bases{Words: 0, Anchors: 1 << 40}
+		for trial := 0; trial < 300; trial++ {
+			id := uint32(r.Intn(int(maxID) + 2))
+			p1, ok1 := x.Lookup(id)
+			p2, ok2 := x.LookupTraced(id, b, tr)
+			if p1 != p2 || ok1 != ok2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracedAccessBound(t *testing.T) {
+	// With interval 512 a hit touches at most 1 anchor + 512/64 = 8 words.
+	rng := rand.New(rand.NewSource(77))
+	const maxID = 1 << 16
+	keys := randomKeys(rng, 4096, maxID)
+	x := Build(keys, maxID, 512)
+	b := Bases{Words: 0, Anchors: 1 << 40}
+	for _, k := range keys {
+		tr := &countingTracer{}
+		if _, ok := x.LookupTraced(k, b, tr); !ok {
+			t.Fatalf("key %d not found", k)
+		}
+		if tr.n > 9 {
+			t.Fatalf("lookup of %d touched %d words, want <= 9", k, tr.n)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNTriples checks the parser never panics and that anything it
+// accepts survives a serialize/re-parse round trip.
+func FuzzParseNTriples(f *testing.F) {
+	seeds := []string{
+		"<http://a> <http://p> <http://b> .\n",
+		`<http://a> <http://p> "lit" .` + "\n",
+		`_:b0 <http://p> "x\"y"@en .` + "\n",
+		`<a> <p> "1"^^<http://www.w3.org/2001/XMLSchema#integer> .` + "\n",
+		"# comment\n\n",
+		"<a <p> <b> .\n",
+		"<a> <p> .\n",
+		strings.Repeat(`<s> <p> <o> .`+"\n", 5),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		triples, err := ParseString(doc)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		for _, tr := range triples {
+			if err := w.Write(tr); err != nil {
+				t.Fatalf("write accepted triple %v: %v", tr, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseString(sb.String())
+		if err != nil {
+			t.Fatalf("re-parse of serialized output failed: %v\noutput: %q", err, sb.String())
+		}
+		if len(again) != len(triples) {
+			t.Fatalf("round trip changed triple count: %d -> %d", len(triples), len(again))
+		}
+		for i := range again {
+			if again[i] != triples[i] {
+				t.Fatalf("round trip changed triple %d: %v -> %v", i, triples[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseError describes a syntax error in an N-Triples document.
+type ParseError struct {
+	Line int    // 1-based line number
+	Msg  string // what went wrong
+	Text string // the offending line, truncated
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %s: %q", e.Line, e.Msg, e.Text)
+}
+
+// Reader parses N-Triples documents line by line.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader consuming N-Triples from r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next triple, or io.EOF at end of input. Blank lines and
+// comment lines (starting with '#') are skipped.
+func (r *Reader) Read() (Triple, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		t, err := r.parseLine(line)
+		if err != nil {
+			return Triple{}, err
+		}
+		return t, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll consumes the remaining input and returns all triples.
+func (r *Reader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+func (r *Reader) errf(line, format string, args ...any) error {
+	if len(line) > 80 {
+		line = line[:80] + "..."
+	}
+	return &ParseError{Line: r.line, Msg: fmt.Sprintf(format, args...), Text: line}
+}
+
+func (r *Reader) parseLine(line string) (Triple, error) {
+	rest := line
+	var t Triple
+	var err error
+	if t.S, rest, err = r.parseTerm(line, rest, false); err != nil {
+		return Triple{}, err
+	}
+	if t.P, rest, err = r.parseTerm(line, rest, false); err != nil {
+		return Triple{}, err
+	}
+	if KindOf(t.P) != IRI {
+		return Triple{}, r.errf(line, "predicate must be an IRI, got %q", t.P)
+	}
+	if t.O, rest, err = r.parseTerm(line, rest, true); err != nil {
+		return Triple{}, err
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "." && rest != ". " {
+		if !strings.HasPrefix(rest, ".") || strings.TrimSpace(rest[1:]) != "" {
+			return Triple{}, r.errf(line, "expected terminating '.', got %q", rest)
+		}
+	}
+	return t, nil
+}
+
+// parseTerm consumes one term from rest and returns it with the remainder.
+// allowLiteral permits literal terms (only valid in the object position).
+func (r *Reader) parseTerm(line, rest string, allowLiteral bool) (term, remainder string, err error) {
+	rest = strings.TrimLeft(rest, " \t")
+	if rest == "" {
+		return "", "", r.errf(line, "unexpected end of line")
+	}
+	switch rest[0] {
+	case '<':
+		end := strings.IndexByte(rest, '>')
+		if end < 0 {
+			return "", "", r.errf(line, "unterminated IRI")
+		}
+		return rest[:end+1], rest[end+1:], nil
+	case '_':
+		if len(rest) < 3 || rest[1] != ':' {
+			return "", "", r.errf(line, "malformed blank node")
+		}
+		end := strings.IndexAny(rest, " \t")
+		if end < 0 {
+			end = len(rest)
+		}
+		label := rest[:end]
+		// A line like `_:b .` leaves the dot attached only when unspaced;
+		// N-Triples requires whitespace before '.', so this is fine.
+		return label, rest[end:], nil
+	case '"':
+		if !allowLiteral {
+			return "", "", r.errf(line, "literal not allowed in this position")
+		}
+		end := closingQuote(rest)
+		if end < 0 {
+			return "", "", r.errf(line, "unterminated literal")
+		}
+		term := rest[:end+1]
+		rest = rest[end+1:]
+		switch {
+		case strings.HasPrefix(rest, "^^<"):
+			dtEnd := strings.IndexByte(rest, '>')
+			if dtEnd < 0 {
+				return "", "", r.errf(line, "unterminated datatype IRI")
+			}
+			term += rest[:dtEnd+1]
+			rest = rest[dtEnd+1:]
+		case strings.HasPrefix(rest, "@"):
+			end := strings.IndexAny(rest, " \t")
+			if end < 0 {
+				return "", "", r.errf(line, "language tag runs to end of line")
+			}
+			term += rest[:end]
+			rest = rest[end:]
+		}
+		return term, rest, nil
+	default:
+		return "", "", r.errf(line, "unexpected character %q", rest[0])
+	}
+}
+
+// closingQuote returns the index of the closing '"' of a literal that starts
+// at s[0], honoring backslash escapes, or -1.
+func closingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// Writer serializes triples as N-Triples.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter returns a Writer emitting N-Triples to w. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Write emits one triple.
+func (w *Writer) Write(t Triple) error {
+	for _, part := range []string{t.S, " ", t.P, " ", t.O, " .\n"} {
+		if _, err := w.bw.WriteString(part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes any buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// ParseString parses a complete N-Triples document held in a string.
+func ParseString(doc string) ([]Triple, error) {
+	return NewReader(strings.NewReader(doc)).ReadAll()
+}

@@ -1,0 +1,92 @@
+package rdfs
+
+import "parj/internal/rdf"
+
+// ExpandPredicate implements optimizer.Expander: a predicate with
+// subproperties widens to its closure.
+func (h *Hierarchy) ExpandPredicate(p uint32) []uint32 {
+	return h.subProperties[p]
+}
+
+// ExpandPredicateIRI implements optimizer.Expander: it resolves a parent
+// property that only exists through its subproperties.
+func (h *Hierarchy) ExpandPredicateIRI(iri string) []uint32 {
+	return h.subPropertiesByIRI[iri]
+}
+
+// ExpandObject implements optimizer.Expander: a constant object of an
+// rdf:type pattern widens to the subclass closure of the class.
+func (h *Hierarchy) ExpandObject(p uint32, obj uint32) []uint32 {
+	if p != h.typePred || h.typePred == 0 {
+		return nil
+	}
+	return h.subClasses[obj]
+}
+
+// ForwardChain materializes the RDFS consequences of the class and
+// property hierarchies over triples: for every (s, p, o) with p ⊑ q it adds
+// (s, q, o), and for every (s, rdf:type, C) with C ⊑ D it adds
+// (s, rdf:type, D). It exists as the test oracle for backward-chained
+// evaluation — the very materialization the paper's approach avoids.
+// Vocabulary IRIs may be overridden as in New.
+func ForwardChain(triples []rdf.Triple, subClassIRI, subPropertyIRI, typeIRI string) []rdf.Triple {
+	if subClassIRI == "" {
+		subClassIRI = SubClassOf
+	}
+	if subPropertyIRI == "" {
+		subPropertyIRI = SubPropertyOf
+	}
+	if typeIRI == "" {
+		typeIRI = RDFType
+	}
+	// superOf maps a node to its direct parents in each hierarchy.
+	superClasses := map[string][]string{}
+	superProps := map[string][]string{}
+	for _, t := range triples {
+		switch t.P {
+		case subClassIRI:
+			superClasses[t.S] = append(superClasses[t.S], t.O)
+		case subPropertyIRI:
+			superProps[t.S] = append(superProps[t.S], t.O)
+		}
+	}
+	ancestors := func(edges map[string][]string, start string) []string {
+		visited := map[string]bool{}
+		stack := []string{start}
+		var out []string
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range edges[cur] {
+				if !visited[p] {
+					visited[p] = true
+					out = append(out, p)
+					stack = append(stack, p)
+				}
+			}
+		}
+		return out
+	}
+	seen := map[rdf.Triple]bool{}
+	var out []rdf.Triple
+	add := func(t rdf.Triple) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for _, t := range triples {
+		add(t)
+		// Property chain: p ⊑ q implies (s, q, o). Property IRIs appear as
+		// plain resources in superProps.
+		for _, q := range ancestors(superProps, t.P) {
+			add(rdf.Triple{S: t.S, P: q, O: t.O})
+		}
+		if t.P == typeIRI {
+			for _, d := range ancestors(superClasses, t.O) {
+				add(rdf.Triple{S: t.S, P: typeIRI, O: d})
+			}
+		}
+	}
+	return out
+}

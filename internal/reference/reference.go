@@ -1,0 +1,106 @@
+// Package reference provides a deliberately naive BGP evaluator used as the
+// test oracle for every engine in this repository. It matches patterns by
+// backtracking over a plain triple slice — O(n^k), no indexes, no cleverness
+// — so its answers are easy to trust.
+package reference
+
+import (
+	"sort"
+	"strings"
+
+	"parj/internal/rdf"
+	"parj/internal/sparql"
+)
+
+// Evaluate computes the projected result rows of q over triples. Rows
+// follow bag semantics (one row per distinct full-BGP binding, so
+// projection can produce duplicates) unless q.Distinct is set. A positive
+// LIMIT is ignored (the oracle's callers compare complete result
+// multisets), but LIMIT 0 yields no rows, as in SPARQL.
+func Evaluate(q *sparql.Query, triples []rdf.Triple) [][]string {
+	if q.HasLimit && q.Limit == 0 {
+		return nil
+	}
+	proj := q.Projection()
+	binding := map[string]string{}
+	var rows [][]string
+	match(q.Patterns, triples, binding, func() {
+		row := make([]string, len(proj))
+		for i, v := range proj {
+			row[i] = binding[v]
+		}
+		rows = append(rows, row)
+	})
+	if q.Distinct {
+		rows = Dedup(rows)
+	}
+	return rows
+}
+
+func match(patterns []sparql.TriplePattern, triples []rdf.Triple, binding map[string]string, emit func()) {
+	if len(patterns) == 0 {
+		emit()
+		return
+	}
+	tp := patterns[0]
+	for _, tr := range triples {
+		var bound []string
+		ok := true
+		for _, pair := range [3]struct {
+			term  sparql.Term
+			value string
+		}{{tp.S, tr.S}, {tp.P, tr.P}, {tp.O, tr.O}} {
+			if !pair.term.IsVar() {
+				if pair.term.Value != pair.value {
+					ok = false
+					break
+				}
+				continue
+			}
+			if prev, exists := binding[pair.term.Var]; exists {
+				if prev != pair.value {
+					ok = false
+					break
+				}
+				continue
+			}
+			binding[pair.term.Var] = pair.value
+			bound = append(bound, pair.term.Var)
+		}
+		if ok {
+			match(patterns[1:], triples, binding, emit)
+		}
+		for _, v := range bound {
+			delete(binding, v)
+		}
+	}
+}
+
+// Dedup removes duplicate rows, preserving first occurrence order.
+func Dedup(rows [][]string) [][]string {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		key := strings.Join(r, "\x00")
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Canon sorts rows lexicographically so result multisets can be compared
+// with reflect.DeepEqual. It sorts in place and returns its argument.
+func Canon(rows [][]string) [][]string {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return rows
+}

@@ -1,0 +1,107 @@
+package reference
+
+import (
+	"reflect"
+	"testing"
+
+	"parj/internal/rdf"
+	"parj/internal/sparql"
+)
+
+var data = []rdf.Triple{
+	{S: "<ProfA>", P: "<teaches>", O: "<Math>"},
+	{S: "<ProfB>", P: "<teaches>", O: "<Chem>"},
+	{S: "<ProfA>", P: "<teaches>", O: "<Phys>"},
+	{S: "<ProfA>", P: "<worksFor>", O: "<Uni1>"},
+	{S: "<ProfB>", P: "<worksFor>", O: "<Uni2>"},
+}
+
+func eval(t *testing.T, src string, triples []rdf.Triple) [][]string {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Canon(Evaluate(q, triples))
+}
+
+func TestSinglePattern(t *testing.T) {
+	got := eval(t, `SELECT ?x WHERE { ?x <worksFor> <Uni1> }`, data)
+	want := [][]string{{"<ProfA>"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	got := eval(t, `SELECT ?x ?c ?u WHERE { ?x <teaches> ?c . ?x <worksFor> ?u }`, data)
+	want := [][]string{
+		{"<ProfA>", "<Math>", "<Uni1>"},
+		{"<ProfA>", "<Phys>", "<Uni1>"},
+		{"<ProfB>", "<Chem>", "<Uni2>"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestProjectionDuplicatesAndDistinct(t *testing.T) {
+	got := eval(t, `SELECT ?x WHERE { ?x <teaches> ?c }`, data)
+	if len(got) != 3 {
+		t.Errorf("bag projection rows = %d, want 3", len(got))
+	}
+	got = eval(t, `SELECT DISTINCT ?x WHERE { ?x <teaches> ?c }`, data)
+	if len(got) != 2 {
+		t.Errorf("distinct rows = %d, want 2", len(got))
+	}
+}
+
+func TestRepeatedVariableInPattern(t *testing.T) {
+	loops := append(append([]rdf.Triple{}, data...), rdf.Triple{S: "<X>", P: "<knows>", O: "<X>"})
+	got := eval(t, `SELECT ?x WHERE { ?x <knows> ?x }`, loops)
+	want := [][]string{{"<X>"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestVariablePredicate(t *testing.T) {
+	got := eval(t, `SELECT ?p WHERE { <ProfA> ?p <Uni1> }`, data)
+	want := [][]string{{"<worksFor>"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	got := eval(t, `SELECT ?x WHERE { ?x <teaches> <Nothing> }`, data)
+	if len(got) != 0 {
+		t.Errorf("got %v, want empty", got)
+	}
+}
+
+func TestCartesianProduct(t *testing.T) {
+	got := eval(t, `SELECT ?a ?b WHERE { ?a <worksFor> <Uni1> . ?b <worksFor> <Uni2> }`, data)
+	want := [][]string{{"<ProfA>", "<ProfB>"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDedupPreservesOrder(t *testing.T) {
+	rows := [][]string{{"b"}, {"a"}, {"b"}, {"c"}, {"a"}}
+	got := Dedup(rows)
+	want := [][]string{{"b"}, {"a"}, {"c"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestCanonOrdersRows(t *testing.T) {
+	rows := [][]string{{"b", "x"}, {"a", "z"}, {"a", "y"}}
+	got := Canon(rows)
+	want := [][]string{{"a", "y"}, {"a", "z"}, {"b", "x"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}

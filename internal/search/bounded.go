@@ -1,0 +1,44 @@
+package search
+
+// BoundedBinary is the alternative the paper considered and rejected
+// (§4.1): when the probe value is known to lie beyond the cursor, binary
+// search could be restricted to the sub-array after (or before) the cursor
+// instead of spanning the whole array. In theory this saves steps; in
+// practice the paper found full-array binary search faster, because the
+// positions probed in the first steps are the same across searches and
+// therefore stay cached, whereas bounded ranges shift with the cursor.
+// This implementation exists for the ablation benchmark that reproduces
+// that design decision; the engine always uses Binary.
+func BoundedBinary(arr []uint32, value uint32, cur *int) (int, bool) {
+	if len(arr) == 0 {
+		return 0, false
+	}
+	i := *cur
+	if i < 0 || i >= len(arr) {
+		i = 0
+	}
+	lo, hi := 0, len(arr)
+	switch {
+	case arr[i] < value:
+		lo = i + 1
+	case arr[i] > value:
+		hi = i
+	default:
+		*cur = i
+		return i, true
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if arr[mid] < value {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos := lo
+	if pos == len(arr) {
+		pos = len(arr) - 1
+	}
+	*cur = pos
+	return pos, arr[pos] == value
+}

@@ -1,0 +1,86 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: BoundedBinary answers membership exactly like the reference
+// search for any cursor position.
+func TestQuickBoundedBinaryEquivalence(t *testing.T) {
+	f := func(raw []uint32, probe uint32, curSeed uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		arr := append([]uint32(nil), raw...)
+		sort.Slice(arr, func(i, j int) bool { return arr[i] < arr[j] })
+		arr = dedup(arr)
+		cur := int(curSeed) % len(arr)
+		wantPos, wantOK := refSearch(arr, probe)
+		pos, ok := BoundedBinary(arr, probe, &cur)
+		if ok != wantOK {
+			return false
+		}
+		if ok && pos != wantPos {
+			return false
+		}
+		return cur >= 0 && cur < len(arr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedBinaryChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	arr := sortedArr(rng, 10000, 4)
+	cur := 0
+	for trial := 0; trial < 20000; trial++ {
+		p := arr[0] + uint32(rng.Intn(int(arr[len(arr)-1]-arr[0])+3))
+		wantPos, wantOK := refSearch(arr, p)
+		pos, ok := BoundedBinary(arr, p, &cur)
+		if ok != wantOK || (ok && pos != wantPos) {
+			t.Fatalf("probe %d: got (%d,%v), want (%d,%v)", p, pos, ok, wantPos, wantOK)
+		}
+	}
+}
+
+func TestBoundedBinaryEmpty(t *testing.T) {
+	cur := 3
+	if _, ok := BoundedBinary(nil, 5, &cur); ok {
+		t.Error("BoundedBinary(nil) found something")
+	}
+}
+
+// BenchmarkBinaryVariants is the ablation behind the paper's design note
+// in §4.1: full-array binary search vs cursor-bounded binary search on an
+// ascending probe stream. The paper found full-array faster because its
+// early probe positions stay cached.
+func BenchmarkBinaryVariants(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	arr := sortedArr(rng, 1<<22, 3)
+	// Probes jump forward by random strides, as successive pipeline keys do.
+	probes := make([]uint32, 4096)
+	v := arr[0]
+	for i := range probes {
+		v += uint32(rng.Intn(2000))
+		if v > arr[len(arr)-1] {
+			v = arr[0]
+		}
+		probes[i] = v
+	}
+	b.Run("full-array", func(b *testing.B) {
+		cur := 0
+		for i := 0; i < b.N; i++ {
+			Binary(arr, probes[i&4095], &cur)
+		}
+	})
+	b.Run("cursor-bounded", func(b *testing.B) {
+		cur := 0
+		for i := 0; i < b.N; i++ {
+			BoundedBinary(arr, probes[i&4095], &cur)
+		}
+	})
+}

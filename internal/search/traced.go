@@ -1,0 +1,96 @@
+package search
+
+// Tracer observes the memory address of every array element a traced search
+// touches. cachesim.Hierarchy implements it; Table 6 of the paper is
+// reproduced by replaying searches through such a hierarchy.
+type Tracer interface {
+	Access(addr uint64)
+}
+
+// SequentialTraced is Sequential with every element access reported to t.
+// base is the simulated base address of arr; elements are 4 bytes.
+func SequentialTraced(arr []uint32, value uint32, cur *int, base uint64, t Tracer) (int, bool) {
+	i := *cur
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(arr) {
+		i = len(arr) - 1
+	}
+	if len(arr) == 0 {
+		return 0, false
+	}
+	t.Access(base + uint64(i)*4)
+	switch {
+	case arr[i] < value:
+		for i+1 < len(arr) {
+			t.Access(base + uint64(i+1)*4)
+			if arr[i+1] > value {
+				break
+			}
+			i++
+		}
+	case arr[i] > value:
+		for i > 0 {
+			i--
+			t.Access(base + uint64(i)*4)
+			if arr[i] <= value {
+				break
+			}
+		}
+	}
+	*cur = i
+	return i, arr[i] == value
+}
+
+// BinaryTraced is Binary with every probe reported to t.
+func BinaryTraced(arr []uint32, value uint32, cur *int, base uint64, t Tracer) (int, bool) {
+	lo, hi := 0, len(arr)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		t.Access(base + uint64(mid)*4)
+		if arr[mid] < value {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos := lo
+	if pos == len(arr) {
+		pos = len(arr) - 1
+	}
+	if pos < 0 {
+		*cur = 0
+		return 0, false
+	}
+	t.Access(base + uint64(pos)*4)
+	*cur = pos
+	return pos, arr[pos] == value
+}
+
+// AdaptiveTraced mirrors Adaptive, dispatching to the traced variants.
+func AdaptiveTraced(arr []uint32, value uint32, cur *int, threshold uint32, base uint64, t Tracer, stats *Stats) (int, bool) {
+	if len(arr) == 0 {
+		return 0, false
+	}
+	i := *cur
+	if i < 0 || i >= len(arr) {
+		i = 0
+		*cur = 0
+	}
+	t.Access(base + uint64(i)*4)
+	dist := int64(arr[i]) - int64(value)
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist <= int64(threshold) {
+		if stats != nil {
+			stats.Sequential++
+		}
+		return SequentialTraced(arr, value, cur, base, t)
+	}
+	if stats != nil {
+		stats.Binary++
+	}
+	return BinaryTraced(arr, value, cur, base, t)
+}

@@ -1,0 +1,93 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type countingTracer struct{ n int }
+
+func (c *countingTracer) Access(uint64) { c.n++ }
+
+// Property: the traced variants return exactly what the plain variants
+// return and leave the cursor in the same place.
+func TestQuickTracedEquivalence(t *testing.T) {
+	f := func(raw []uint32, probes []uint32, window uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		arr := append([]uint32(nil), raw...)
+		sort.Slice(arr, func(i, j int) bool { return arr[i] < arr[j] })
+		arr = dedup(arr)
+		threshold := ValueThreshold(arr, int(window))
+		curA, curB := 0, 0
+		tr := &countingTracer{}
+		for _, p := range probes {
+			posA, okA := Adaptive(arr, p, &curA, threshold, nil)
+			posB, okB := AdaptiveTraced(arr, p, &curB, threshold, 0, tr, nil)
+			if posA != posB || okA != okB || curA != curB {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracedAccessCounts(t *testing.T) {
+	arr := make([]uint32, 1024)
+	for i := range arr {
+		arr[i] = uint32(i * 2)
+	}
+	// Binary search over 1024 elements touches about log2(1024)+1 elements.
+	tr := &countingTracer{}
+	cur := 0
+	BinaryTraced(arr, arr[700], &cur, 0, tr)
+	if tr.n < 10 || tr.n > 13 {
+		t.Errorf("BinaryTraced touched %d elements, want ~11", tr.n)
+	}
+	// Sequential from an adjacent cursor touches a couple of elements.
+	tr = &countingTracer{}
+	cur = 699
+	SequentialTraced(arr, arr[700], &cur, 0, tr)
+	if tr.n > 3 {
+		t.Errorf("adjacent SequentialTraced touched %d elements, want <= 3", tr.n)
+	}
+}
+
+func TestTracedEmpty(t *testing.T) {
+	tr := &countingTracer{}
+	cur := 0
+	if _, ok := SequentialTraced(nil, 1, &cur, 0, tr); ok {
+		t.Error("SequentialTraced(nil) found something")
+	}
+	if _, ok := BinaryTraced(nil, 1, &cur, 0, tr); ok {
+		t.Error("BinaryTraced(nil) found something")
+	}
+	if _, ok := AdaptiveTraced(nil, 1, &cur, 5, 0, tr, nil); ok {
+		t.Error("AdaptiveTraced(nil) found something")
+	}
+}
+
+func TestTracedRandomProbesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	arr := sortedArr(rng, 4096, 5)
+	threshold := ValueThreshold(arr, 100)
+	tr := &countingTracer{}
+	cur := 0
+	for trial := 0; trial < 5000; trial++ {
+		p := arr[0] + uint32(rng.Intn(int(arr[len(arr)-1]-arr[0])+5))
+		wantPos, wantOK := refSearch(arr, p)
+		pos, ok := AdaptiveTraced(arr, p, &cur, threshold, 0, tr, nil)
+		if ok != wantOK || (ok && pos != wantPos) {
+			t.Fatalf("probe %d: got (%d,%v), want (%d,%v)", p, pos, ok, wantPos, wantOK)
+		}
+	}
+	if tr.n == 0 {
+		t.Error("tracer saw no accesses")
+	}
+}

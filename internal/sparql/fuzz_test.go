@@ -1,0 +1,51 @@
+package sparql
+
+import "testing"
+
+// FuzzParse checks the SPARQL parser never panics and that accepted
+// queries satisfy basic structural invariants.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT ?x WHERE { ?x <p> ?y }`,
+		`SELECT DISTINCT * WHERE { ?s ?p ?o } LIMIT 10`,
+		`PREFIX a: <http://x/> SELECT ?v WHERE { ?v a:q "lit"@en . ?v a <C> }`,
+		`select ?x where { ?x <p> 42 . }`,
+		`SELECT WHERE { }`,
+		`SELECT ?x WHERE { ?x <p "broken }`,
+		"# comment\nSELECT ?x WHERE { ?x <p> ?y }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(q.Patterns) == 0 {
+			t.Fatal("accepted query with empty BGP")
+		}
+		if !q.Star && len(q.Select) == 0 {
+			t.Fatal("accepted query without projection")
+		}
+		inBGP := map[string]bool{}
+		for _, v := range q.Vars() {
+			inBGP[v] = true
+		}
+		for _, v := range q.Projection() {
+			if !inBGP[v] {
+				t.Fatalf("projected variable %q not in BGP", v)
+			}
+		}
+		for _, tp := range q.Patterns {
+			for _, term := range []Term{tp.S, tp.P, tp.O} {
+				if term.IsVar() == (term.Value != "") {
+					t.Fatalf("term %v is both/neither var and const", term)
+				}
+			}
+			if !tp.P.IsVar() && tp.P.Value[0] == '"' {
+				t.Fatalf("literal predicate accepted: %v", tp)
+			}
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package sparql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParsePaperExample31(t *testing.T) {
+	q := mustParse(t, `SELECT ?x ?y ?z WHERE {
+		?x <teaches> ?z .
+		?x <worksFor> ?y . }`)
+	if q.Star || q.Distinct {
+		t.Error("unexpected Star/Distinct")
+	}
+	if !reflect.DeepEqual(q.Select, []string{"x", "y", "z"}) {
+		t.Errorf("Select = %v", q.Select)
+	}
+	want := []TriplePattern{
+		{S: Variable("x"), P: Constant("<teaches>"), O: Variable("z")},
+		{S: Variable("x"), P: Constant("<worksFor>"), O: Variable("y")},
+	}
+	if !reflect.DeepEqual(q.Patterns, want) {
+		t.Errorf("Patterns = %v, want %v", q.Patterns, want)
+	}
+}
+
+func TestParsePaperExample32Filter(t *testing.T) {
+	q := mustParse(t, `SELECT ?x ?z WHERE {
+		?x <teaches> ?z.
+		?x <worksFor> <University1> . }`)
+	if got := q.Patterns[1].O; got.IsVar() || got.Value != "<University1>" {
+		t.Errorf("filter object = %v", got)
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX ub: <http://lubm.example.org/univ#>
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:takesCourse ?c }`)
+	if q.Patterns[0].P.Value != RDFType {
+		t.Errorf("P = %q", q.Patterns[0].P.Value)
+	}
+	if q.Patterns[0].O.Value != "<http://lubm.example.org/univ#GraduateStudent>" {
+		t.Errorf("O = %q", q.Patterns[0].O.Value)
+	}
+}
+
+func TestParseAKeyword(t *testing.T) {
+	q := mustParse(t, `SELECT ?x WHERE { ?x a <http://ex.org/C> }`)
+	if q.Patterns[0].P.Value != RDFType {
+		t.Errorf("'a' parsed as %q", q.Patterns[0].P.Value)
+	}
+}
+
+func TestParseStarDistinctLimit(t *testing.T) {
+	q := mustParse(t, `SELECT DISTINCT * WHERE { ?s ?p ?o } LIMIT 10`)
+	if !q.Star || !q.Distinct || q.Limit != 10 {
+		t.Errorf("Star=%v Distinct=%v Limit=%d", q.Star, q.Distinct, q.Limit)
+	}
+	if got := q.Projection(); !reflect.DeepEqual(got, []string{"s", "p", "o"}) {
+		t.Errorf("Projection = %v", got)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := mustParse(t, `SELECT ?x WHERE {
+		?x <p> "plain" .
+		?x <q> "typed"^^<http://www.w3.org/2001/XMLSchema#string> .
+		?x <r> "tagged"@en-GB .
+		?x <s> "esc \" quote" .
+		?x <t> 42 }`)
+	wants := []string{
+		`"plain"`,
+		`"typed"^^<http://www.w3.org/2001/XMLSchema#string>`,
+		`"tagged"@en-GB`,
+		`"esc \" quote"`,
+		`"42"^^<http://www.w3.org/2001/XMLSchema#integer>`,
+	}
+	for i, w := range wants {
+		if got := q.Patterns[i].O.Value; got != w {
+			t.Errorf("pattern %d object = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	mustParse(t, `select ?x where { ?x <p> ?y } limit 5`)
+}
+
+func TestParseComments(t *testing.T) {
+	q := mustParse(t, `# leading comment
+		SELECT ?x WHERE { # inline
+		?x <p> ?y }`)
+	if len(q.Patterns) != 1 {
+		t.Errorf("Patterns = %v", q.Patterns)
+	}
+}
+
+func TestVarsOrderAndDedup(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?b <p> ?a . ?a <q> ?c . ?b <r> ?c }`)
+	if got := q.Vars(); !reflect.DeepEqual(got, []string{"b", "a", "c"}) {
+		t.Errorf("Vars = %v", got)
+	}
+}
+
+func TestVariablePredicate(t *testing.T) {
+	q := mustParse(t, `SELECT ?p WHERE { <http://s> ?p <http://o> }`)
+	if !q.Patterns[0].P.IsVar() {
+		t.Error("predicate should be a variable")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no select", `WHERE { ?x <p> ?y }`},
+		{"no where", `SELECT ?x { ?x <p> ?y }`},
+		{"empty bgp", `SELECT ?x WHERE { }`},
+		{"unterminated bgp", `SELECT ?x WHERE { ?x <p> ?y`},
+		{"unterminated iri", `SELECT ?x WHERE { ?x <p ?y }`},
+		{"projection not in bgp", `SELECT ?zz WHERE { ?x <p> ?y }`},
+		{"literal subject", `SELECT ?x WHERE { "s" <p> ?x }`},
+		{"empty var", `SELECT ? WHERE { ?x <p> ?y }`},
+		{"undeclared prefix", `SELECT ?x WHERE { ?x foo:p ?y }`},
+		{"trailing junk", `SELECT ?x WHERE { ?x <p> ?y } garbage`},
+		{"no vars", `SELECT WHERE { ?x <p> ?y }`},
+		{"unterminated literal", `SELECT ?x WHERE { ?x <p> "abc }`},
+		{"bad limit", `SELECT ?x WHERE { ?x <p> ?y } LIMIT x`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", c.src)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasOffset(t *testing.T) {
+	_, err := Parse(`SELECT ?x WHERE { ?x <p ?y }`)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Offset <= 0 {
+		t.Errorf("Offset = %d, want > 0", pe.Offset)
+	}
+	if !strings.Contains(pe.Error(), "offset") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestTermAndPatternString(t *testing.T) {
+	tp := TriplePattern{S: Variable("x"), P: Constant("<p>"), O: Constant(`"v"`)}
+	if got := tp.String(); got != `?x <p> "v"` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPatternVars(t *testing.T) {
+	tp := TriplePattern{S: Variable("x"), P: Variable("x"), O: Variable("y")}
+	if got := tp.Vars(); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("Vars = %v", got)
+	}
+}
+
+func TestOptionalTrailingDot(t *testing.T) {
+	a := mustParse(t, `SELECT ?x WHERE { ?x <p> ?y . ?y <q> ?z . }`)
+	b := mustParse(t, `SELECT ?x WHERE { ?x <p> ?y . ?y <q> ?z }`)
+	if !reflect.DeepEqual(a.Patterns, b.Patterns) {
+		t.Error("trailing dot changed the parse")
+	}
+}
+
+func TestLargeBGP(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("SELECT * WHERE {")
+	for i := 0; i < 9; i++ {
+		sb.WriteString(" ?s <p")
+		sb.WriteByte(byte('0' + i))
+		sb.WriteString("> ?o")
+		sb.WriteByte(byte('0' + i))
+		sb.WriteString(" .")
+	}
+	sb.WriteString(" }")
+	q := mustParse(t, sb.String())
+	if len(q.Patterns) != 9 {
+		t.Errorf("Patterns = %d, want 9 (star query like WatDiv S1)", len(q.Patterns))
+	}
+}
+
+func TestParseOrderByOffset(t *testing.T) {
+	q := mustParse(t, `SELECT ?x ?y WHERE { ?x <p> ?y } ORDER BY ?x DESC(?y) LIMIT 5 OFFSET 2`)
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("OrderBy = %v", q.OrderBy)
+	}
+	if q.OrderBy[0] != (OrderKey{Var: "x"}) || q.OrderBy[1] != (OrderKey{Var: "y", Desc: true}) {
+		t.Errorf("OrderBy = %v", q.OrderBy)
+	}
+	if q.Limit != 5 || !q.HasLimit || q.Offset != 2 {
+		t.Errorf("Limit=%d HasLimit=%v Offset=%d", q.Limit, q.HasLimit, q.Offset)
+	}
+	q = mustParse(t, `SELECT ?x WHERE { ?x <p> ?y } ORDER BY ASC(?x)`)
+	if q.OrderBy[0].Desc {
+		t.Error("ASC parsed as descending")
+	}
+}
+
+func TestParseOrderByErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT ?x WHERE { ?x <p> ?y } ORDER ?x`,
+		`SELECT ?x WHERE { ?x <p> ?y } ORDER BY`,
+		`SELECT ?x WHERE { ?x <p> ?y } ORDER BY DESC ?x`,
+		`SELECT ?x WHERE { ?x <p> ?y } ORDER BY DESC(?x`,
+		`SELECT ?x WHERE { ?x <p> ?y } ORDER BY ?y`,
+		`SELECT ?x WHERE { ?x <p> ?y } OFFSET x`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s accepted", src)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import "sort"
+
+// The paper's §4.3 plans to replace histogram-based estimates with
+// characteristic sets (Neumann & Moerkotte, ICDE 2011). This file
+// implements them: every subject is classified by the *set of predicates*
+// it appears with, and per class the store records how many subjects share
+// it and how many triples each predicate contributes. Star queries — the
+// patterns histograms misestimate worst on RDF — can then be estimated
+// (exactly, for stars of distinct unbound objects) by summing over the
+// classes that contain all the star's predicates.
+
+// charSet is one characteristic set: a canonical sorted predicate list,
+// the number of subjects having exactly this set, and the total triple
+// count per predicate over those subjects.
+type charSet struct {
+	preds  []uint32
+	count  int
+	occurs map[uint32]int
+}
+
+// CharSets holds the characteristic-set statistics of one store.
+// Immutable after build; safe for concurrent use.
+type CharSets struct {
+	sets []charSet
+}
+
+// buildCharSets scans all S-O tables once, grouping subjects by their
+// predicate sets.
+func buildCharSets(s *Stats) *CharSets {
+	st := s.st
+	// Gather, per subject, the (pred, degree) pairs. S-O tables list each
+	// subject once per predicate.
+	type pd struct {
+		pred uint32
+		deg  int
+	}
+	bySubject := map[uint32][]pd{}
+	for p := 1; p <= st.NumPredicates(); p++ {
+		t := st.SO(uint32(p))
+		for i, subj := range t.Keys {
+			lo, hi := t.RunBounds(i)
+			bySubject[subj] = append(bySubject[subj], pd{uint32(p), hi - lo})
+		}
+	}
+	grouped := map[string]*charSet{}
+	var keyBuf []byte
+	for _, pds := range bySubject {
+		sort.Slice(pds, func(i, j int) bool { return pds[i].pred < pds[j].pred })
+		keyBuf = keyBuf[:0]
+		for _, e := range pds {
+			keyBuf = append(keyBuf, byte(e.pred), byte(e.pred>>8), byte(e.pred>>16), byte(e.pred>>24))
+		}
+		k := string(keyBuf)
+		cs, ok := grouped[k]
+		if !ok {
+			preds := make([]uint32, len(pds))
+			for i, e := range pds {
+				preds[i] = e.pred
+			}
+			cs = &charSet{preds: preds, occurs: map[uint32]int{}}
+			grouped[k] = cs
+		}
+		cs.count++
+		for _, e := range pds {
+			cs.occurs[e.pred] += e.deg
+		}
+	}
+	out := &CharSets{sets: make([]charSet, 0, len(grouped))}
+	for _, cs := range grouped {
+		out.sets = append(out.sets, *cs)
+	}
+	// Deterministic order for tests and reproducibility.
+	sort.Slice(out.sets, func(i, j int) bool {
+		a, b := out.sets[i].preds, out.sets[j].preds
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// NumSets reports the number of distinct characteristic sets.
+func (c *CharSets) NumSets() int { return len(c.sets) }
+
+// EstimateStar estimates a subject-star query over the given predicates
+// (each with a distinct unbound object variable): it returns the number of
+// distinct subjects matching all predicates and an estimate of the result
+// rows. The subject count is exact. The row count multiplies per-class
+// average degrees (as in Neumann & Moerkotte), so it is exact whenever
+// degrees are uniform within a class — in particular for single-valued
+// predicates, the common case — and close otherwise; either way it is far
+// more reliable than histogram products on correlated star patterns.
+func (c *CharSets) EstimateStar(preds []uint32) (subjects, rows float64) {
+	if len(preds) == 0 {
+		return 0, 0
+	}
+	for _, cs := range c.sets {
+		if !containsAll(cs.preds, preds) {
+			continue
+		}
+		subjects += float64(cs.count)
+		prod := float64(cs.count)
+		for _, p := range preds {
+			prod *= float64(cs.occurs[p]) / float64(cs.count)
+		}
+		rows += prod
+	}
+	return subjects, rows
+}
+
+// containsAll reports whether sorted superset contains every element of
+// wanted (not necessarily sorted).
+func containsAll(superset, wanted []uint32) bool {
+	for _, w := range wanted {
+		i := sort.Search(len(superset), func(i int) bool { return superset[i] >= w })
+		if i == len(superset) || superset[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// CharSets returns the characteristic-set statistics, building them on
+// first use (a full scan of the S-O tables).
+func (s *Stats) CharSets() *CharSets {
+	s.csOnce.Do(func() {
+		s.cs = buildCharSets(s)
+	})
+	return s.cs
+}

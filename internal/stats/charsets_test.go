@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parj/internal/rdf"
+	"parj/internal/store"
+)
+
+func charsetFixture() *Stats {
+	var triples []rdf.Triple
+	add := func(s, p, o string) { triples = append(triples, rdf.Triple{S: s, P: p, O: o}) }
+	// 10 subjects with {name, age}, 5 with {name}, 3 with {name, age, email};
+	// ages are double-valued for the 3-predicate group.
+	for i := 0; i < 10; i++ {
+		s := fmt.Sprintf("<s%d>", i)
+		add(s, "<name>", fmt.Sprintf(`"n%d"`, i))
+		add(s, "<age>", fmt.Sprintf(`"%d"`, 20+i))
+	}
+	for i := 10; i < 15; i++ {
+		add(fmt.Sprintf("<s%d>", i), "<name>", fmt.Sprintf(`"n%d"`, i))
+	}
+	for i := 15; i < 18; i++ {
+		s := fmt.Sprintf("<s%d>", i)
+		add(s, "<name>", fmt.Sprintf(`"n%d"`, i))
+		add(s, "<age>", fmt.Sprintf(`"%d"`, i))
+		add(s, "<age>", fmt.Sprintf(`"%d"`, i+100)) // second age value
+		add(s, "<email>", fmt.Sprintf(`"e%d"`, i))
+	}
+	return New(store.LoadTriples(triples, store.BuildOptions{}))
+}
+
+func TestCharSetsGrouping(t *testing.T) {
+	s := charsetFixture()
+	cs := s.CharSets()
+	if cs.NumSets() != 3 {
+		t.Fatalf("NumSets = %d, want 3", cs.NumSets())
+	}
+	name := s.st.Predicates.Lookup("<name>")
+	age := s.st.Predicates.Lookup("<age>")
+	email := s.st.Predicates.Lookup("<email>")
+
+	subj, rows := cs.EstimateStar([]uint32{name})
+	if subj != 18 || rows != 18 {
+		t.Errorf("star(name): subjects=%f rows=%f, want 18,18", subj, rows)
+	}
+	subj, rows = cs.EstimateStar([]uint32{name, age})
+	// 10 subjects with one age + 3 subjects with two ages = 13 subjects,
+	// 10*1 + 3*2 = 16 rows.
+	if subj != 13 || math.Abs(rows-16) > 1e-9 {
+		t.Errorf("star(name,age): subjects=%f rows=%f, want 13,16", subj, rows)
+	}
+	subj, rows = cs.EstimateStar([]uint32{name, age, email})
+	if subj != 3 || math.Abs(rows-6) > 1e-9 {
+		t.Errorf("star(name,age,email): subjects=%f rows=%f, want 3,6", subj, rows)
+	}
+	if s2, r2 := cs.EstimateStar([]uint32{email, age}); s2 != 3 || math.Abs(r2-6) > 1e-9 {
+		t.Errorf("unsorted pred order: %f,%f", s2, r2)
+	}
+	if s2, _ := cs.EstimateStar(nil); s2 != 0 {
+		t.Errorf("empty star: %f", s2)
+	}
+}
+
+// Property: EstimateStar equals the brute-force star count on random data.
+func TestQuickStarExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var triples []rdf.Triple
+		for i := 0; i < 150; i++ {
+			triples = append(triples, rdf.Triple{
+				S: fmt.Sprintf("<s%d>", rng.Intn(25)),
+				P: fmt.Sprintf("<p%d>", rng.Intn(4)),
+				O: fmt.Sprintf("<o%d>", rng.Intn(30)),
+			})
+		}
+		st := store.LoadTriples(triples, store.BuildOptions{})
+		s := New(st)
+		cs := s.CharSets()
+
+		// Random star of 1-3 distinct predicates.
+		nPreds := 1 + rng.Intn(3)
+		predNames := rng.Perm(4)[:nPreds]
+		var preds []uint32
+		for _, pn := range predNames {
+			p := st.Predicates.Lookup(fmt.Sprintf("<p%d>", pn))
+			if p == 0 {
+				return true // predicate absent at this seed
+			}
+			preds = append(preds, p)
+		}
+		estSubj, estRows := cs.EstimateStar(preds)
+
+		// Brute force over the deduplicated triples.
+		bySubj := map[string]map[string]int{}
+		seen := map[rdf.Triple]bool{}
+		for _, tr := range triples {
+			if seen[tr] {
+				continue
+			}
+			seen[tr] = true
+			if bySubj[tr.S] == nil {
+				bySubj[tr.S] = map[string]int{}
+			}
+			bySubj[tr.S][tr.P]++
+		}
+		wantSubj := 0
+		wantRows := 0
+		for _, pm := range bySubj {
+			prod := 1
+			ok := true
+			for _, pn := range predNames {
+				c := pm[fmt.Sprintf("<p%d>", pn)]
+				if c == 0 {
+					ok = false
+					break
+				}
+				prod *= c
+			}
+			if ok {
+				wantSubj++
+				wantRows += prod
+			}
+		}
+		// Subject counts are exact; single-predicate row counts too.
+		if math.Abs(estSubj-float64(wantSubj)) > 1e-6 {
+			t.Logf("seed=%d: subjects est=%f want=%d", seed, estSubj, wantSubj)
+			return false
+		}
+		if nPreds == 1 && math.Abs(estRows-float64(wantRows)) > 1e-6 {
+			t.Logf("seed=%d: 1-pred rows est=%f want=%d", seed, estRows, wantRows)
+			return false
+		}
+		// Multi-predicate rows use per-class average degrees: allow slack
+		// but require the right ballpark and exact zero behavior.
+		if wantRows == 0 {
+			return estRows == 0
+		}
+		ratio := estRows / float64(wantRows)
+		return ratio > 0.3 && ratio < 3.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharSetsLazyAndCached(t *testing.T) {
+	s := charsetFixture()
+	a := s.CharSets()
+	b := s.CharSets()
+	if a != b {
+		t.Error("CharSets not cached")
+	}
+}

@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"parj/internal/rdf"
+	"parj/internal/store"
+)
+
+func TestBuildHistogramEquiDepth(t *testing.T) {
+	vals := make([]uint32, 1000)
+	for i := range vals {
+		vals[i] = uint32(i)
+	}
+	h := BuildHistogram(vals, 10)
+	if h.Buckets() != 10 {
+		t.Fatalf("Buckets = %d, want 10", h.Buckets())
+	}
+	if h.Total() != 1000 {
+		t.Fatalf("Total = %d, want 1000", h.Total())
+	}
+	// Uniform data: each value occurs once, estimate should be ~1.
+	for _, v := range []uint32{0, 250, 999} {
+		if est := h.EstimateEq(v); math.Abs(est-1) > 0.2 {
+			t.Errorf("EstimateEq(%d) = %f, want ~1", v, est)
+		}
+	}
+}
+
+func TestHistogramSkew(t *testing.T) {
+	// 900 copies of 5, then 100 distinct values: equi-depth must isolate
+	// the heavy value so its estimate is high.
+	var vals []uint32
+	for i := 0; i < 900; i++ {
+		vals = append(vals, 5)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, uint32(1000+i*3))
+	}
+	h := BuildHistogram(vals, 10)
+	if est := h.EstimateEq(5); est < 300 {
+		t.Errorf("EstimateEq(heavy 5) = %f, want large", est)
+	}
+	if est := h.EstimateEq(1000); est > 20 {
+		t.Errorf("EstimateEq(light 1000) = %f, want small", est)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := BuildHistogram([]uint32{10, 20, 30}, 2)
+	if est := h.EstimateEq(100); est != 0 {
+		t.Errorf("EstimateEq(100) = %f, want 0", est)
+	}
+	if est := h.EstimateRange(40, 50); est != 0 {
+		t.Errorf("EstimateRange(40,50) = %f, want 0", est)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := BuildHistogram(nil, 8)
+	if h.EstimateEq(1) != 0 || h.EstimateRange(0, 10) != 0 || h.Total() != 0 {
+		t.Error("empty histogram must estimate 0")
+	}
+}
+
+func TestEstimateRangeCoversTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]uint32, 5000)
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(10000))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	h := BuildHistogram(vals, 32)
+	full := h.EstimateRange(0, 10000)
+	if math.Abs(full-5000) > 1 {
+		t.Errorf("full-range estimate = %f, want 5000", full)
+	}
+}
+
+// Property: the sum of bucket counts is the input size and bounds are
+// non-decreasing.
+func TestQuickHistogramInvariants(t *testing.T) {
+	f := func(raw []uint32, b uint8) bool {
+		buckets := int(b)%63 + 1
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		h := BuildHistogram(raw, buckets)
+		sum := 0
+		for _, c := range h.counts {
+			sum += c
+		}
+		if sum != len(raw) {
+			return false
+		}
+		for i := 1; i < len(h.bounds); i++ {
+			if h.bounds[i] < h.bounds[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildTestStore() *store.Store {
+	var triples []rdf.Triple
+	// teaches: professors 0..9, professor i teaches i+1 courses.
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			triples = append(triples, rdf.Triple{
+				S: rdf.NewIRI("prof" + string(rune('0'+i))),
+				P: "<teaches>",
+				O: rdf.NewIRI("course" + string(rune('a'+i)) + string(rune('0'+j))),
+			})
+		}
+	}
+	// worksFor: professors 0..9 work for 2 universities.
+	for i := 0; i < 10; i++ {
+		uni := "<uni1>"
+		if i%2 == 1 {
+			uni = "<uni2>"
+		}
+		triples = append(triples, rdf.Triple{
+			S: rdf.NewIRI("prof" + string(rune('0'+i))), P: "<worksFor>", O: uni,
+		})
+	}
+	return store.LoadTriples(triples, store.BuildOptions{})
+}
+
+func TestStoreStats(t *testing.T) {
+	st := buildTestStore()
+	s := New(st)
+	teaches := st.Predicates.Lookup("<teaches>")
+	worksFor := st.Predicates.Lookup("<worksFor>")
+
+	if got := s.Triples(teaches); got != 55 {
+		t.Errorf("Triples(teaches) = %d, want 55", got)
+	}
+	subjCol := Column{Pred: teaches, Subject: true}
+	if got := s.Distinct(subjCol); got != 10 {
+		t.Errorf("Distinct(teaches subject) = %d, want 10", got)
+	}
+	if got := s.AvgRun(subjCol); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("AvgRun = %f, want 5.5", got)
+	}
+
+	// Exact count for a constant: prof9 teaches 10 courses.
+	prof9 := st.Resources.Lookup(rdf.NewIRI("prof9"))
+	if got := s.CountExact(subjCol, prof9); got != 10 {
+		t.Errorf("CountExact(prof9) = %d, want 10", got)
+	}
+	if got := s.CountExact(subjCol, 999999); got != 0 {
+		t.Errorf("CountExact(absent) = %d, want 0", got)
+	}
+
+	// Pair cardinality teaches.S ⋈ worksFor.S: every professor appears in
+	// both; join size = sum over profs of (courses × 1) = 55.
+	wfSubj := Column{Pred: worksFor, Subject: true}
+	if got := s.PairCardinality(subjCol, wfSubj); got != 55 {
+		t.Errorf("PairCardinality = %f, want 55", got)
+	}
+	// Memoized and canonical: reverse order gives the same value.
+	if got := s.PairCardinality(wfSubj, subjCol); got != 55 {
+		t.Errorf("reversed PairCardinality = %f, want 55", got)
+	}
+
+	// teaches.O ⋈ worksFor.O share no values.
+	if got := s.PairCardinality(Column{Pred: teaches}, Column{Pred: worksFor}); got != 0 {
+		t.Errorf("disjoint PairCardinality = %f, want 0", got)
+	}
+
+	if got := s.JoinSelectivityDistinct(subjCol, wfSubj); got != 10 {
+		t.Errorf("JoinSelectivityDistinct = %d, want 10", got)
+	}
+}
+
+// Property: PairCardinality equals the brute-force join count on random
+// stores.
+func TestQuickPairCardinality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var triples []rdf.Triple
+		n := 100 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			triples = append(triples, rdf.Triple{
+				S: rdf.NewIRI("r" + itoa(rng.Intn(30))),
+				P: "<p" + string(rune('0'+rng.Intn(2))) + ">",
+				O: rdf.NewIRI("r" + itoa(rng.Intn(30))),
+			})
+		}
+		st := store.LoadTriples(triples, store.BuildOptions{})
+		if st.NumPredicates() < 2 {
+			return true
+		}
+		s := New(st)
+		// Brute force p1.O ⋈ p2.S over decoded triples.
+		var t1, t2 []rdf.Triple
+		p1name, p2name := st.Predicates.Decode(1), st.Predicates.Decode(2)
+		seen := map[rdf.Triple]bool{}
+		for _, tr := range triples {
+			if seen[tr] {
+				continue
+			}
+			seen[tr] = true
+			switch tr.P {
+			case p1name:
+				t1 = append(t1, tr)
+			case p2name:
+				t2 = append(t2, tr)
+			}
+		}
+		want := 0
+		for _, a := range t1 {
+			for _, b := range t2 {
+				if a.O == b.S {
+					want++
+				}
+			}
+		}
+		got := s.PairCardinality(Column{Pred: 1, Subject: false}, Column{Pred: 2, Subject: true})
+		return got == float64(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,259 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"parj/internal/dict"
+	"parj/internal/posindex"
+	"parj/internal/search"
+)
+
+// The paper's prototype persisted its tables in SQLite and rebuilt the
+// in-memory structures at startup; this snapshot format plays that role:
+// a store saves its dictionary-encoded tables once and later loads them
+// without re-parsing N-Triples or re-sorting. ID-to-Position indexes and
+// simulated base addresses are rebuilt at load (they are derived data).
+
+const (
+	snapshotMagic   = "PARJSNAP"
+	snapshotVersion = 1
+)
+
+// Save writes a binary snapshot of the store.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := writeU32(bw, snapshotVersion); err != nil {
+		return err
+	}
+	hasIndex := uint32(0)
+	if len(s.so) > 0 && s.so[0].Index != nil {
+		hasIndex = 1
+	}
+	if err := writeU32(bw, hasIndex); err != nil {
+		return err
+	}
+	// Dictionaries, length-prefixed.
+	for _, d := range []*dict.Dict{s.Resources, s.Predicates} {
+		if err := writeDict(bw, d); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(bw, uint32(len(s.so))); err != nil {
+		return err
+	}
+	for p := range s.so {
+		for _, t := range []*Table{&s.so[p], &s.os[p]} {
+			if err := writeU32(bw, t.Threshold); err != nil {
+				return err
+			}
+			if err := writeU32(bw, t.IndexThreshold); err != nil {
+				return err
+			}
+			for _, arr := range [][]uint32{t.Keys, t.Offs, t.Vals} {
+				if err := writeU32Slice(bw, arr); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reconstructs a store written by Save. Derived structures
+// (ID-to-Position indexes when the snapshot had them, simulated base
+// addresses, the directory) are rebuilt.
+func LoadSnapshot(r io.Reader) (*Store, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("store: not a PARJ snapshot (magic %q)", magic)
+	}
+	version, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d", version)
+	}
+	hasIndex, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{Resources: dict.New(), Predicates: dict.New()}
+	for _, d := range []*dict.Dict{st.Resources, st.Predicates} {
+		if err := readDict(br, d); err != nil {
+			return nil, err
+		}
+	}
+	nPred, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if int(nPred) > st.Predicates.Len() {
+		return nil, fmt.Errorf("store: snapshot has %d predicates but dictionary only %d", nPred, st.Predicates.Len())
+	}
+	st.so = make([]Table, nPred)
+	st.os = make([]Table, nPred)
+	st.directory = make([]uint32, 2*nPred)
+	var base uint64 = 1 << 20
+	maxID := st.Resources.MaxID()
+	for p := 0; p < int(nPred); p++ {
+		for ti, t := range []*Table{&st.so[p], &st.os[p]} {
+			if t.Threshold, err = readU32(br); err != nil {
+				return nil, err
+			}
+			if t.IndexThreshold, err = readU32(br); err != nil {
+				return nil, err
+			}
+			if t.Keys, err = readU32Slice(br); err != nil {
+				return nil, err
+			}
+			if t.Offs, err = readU32Slice(br); err != nil {
+				return nil, err
+			}
+			if t.Vals, err = readU32Slice(br); err != nil {
+				return nil, err
+			}
+			if err := validateCSR(t); err != nil {
+				return nil, fmt.Errorf("store: snapshot predicate %d replica %d: %w", p+1, ti, err)
+			}
+			t.KeysBase = base
+			base += uint64(len(t.Keys))*4 + 4096
+			t.ValsBase = base
+			base += uint64(len(t.Vals))*4 + 4096
+			if hasIndex == 1 {
+				t.Index = posindex.Build(t.Keys, maxID, 0)
+				t.IndexBases = posindex.Bases{Words: base, Anchors: base + uint64(t.Index.Bytes())}
+				base += uint64(t.Index.Bytes())*2 + 4096
+			}
+			if t.Threshold == 0 {
+				t.Threshold = search.ValueThreshold(t.Keys, search.DefaultBinaryWindow)
+			}
+		}
+		st.numTriples += st.so[p].NumTriples()
+		st.directory[2*p] = uint32(len(st.so[p].Keys))
+		st.directory[2*p+1] = uint32(len(st.os[p].Keys))
+	}
+	return st, nil
+}
+
+// validateCSR rejects corrupted snapshots before they can panic later.
+func validateCSR(t *Table) error {
+	if len(t.Offs) != len(t.Keys)+1 {
+		return fmt.Errorf("offsets length %d != keys+1 (%d)", len(t.Offs), len(t.Keys)+1)
+	}
+	if len(t.Offs) > 0 {
+		if t.Offs[0] != 0 {
+			return fmt.Errorf("first offset %d != 0", t.Offs[0])
+		}
+		if int(t.Offs[len(t.Offs)-1]) != len(t.Vals) {
+			return fmt.Errorf("last offset %d != len(vals) %d", t.Offs[len(t.Offs)-1], len(t.Vals))
+		}
+	}
+	for i := 1; i < len(t.Keys); i++ {
+		if t.Keys[i] <= t.Keys[i-1] {
+			return fmt.Errorf("keys not strictly ascending at %d", i)
+		}
+		if t.Offs[i] < t.Offs[i-1] {
+			return fmt.Errorf("offsets not monotone at %d", i)
+		}
+	}
+	return nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeU32Slice(w io.Writer, xs []uint32) error {
+	if err := writeU32(w, uint32(len(xs))); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 4096)
+	for _, v := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+		if len(buf) >= 4096 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readU32Slice(r io.Reader) ([]uint32, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	const maxLen = 1 << 31
+	if n > maxLen {
+		return nil, fmt.Errorf("store: slice length %d exceeds limit", n)
+	}
+	out := make([]uint32, n)
+	buf := make([]byte, 4096)
+	i := 0
+	for i < int(n) {
+		want := (int(n) - i) * 4
+		if want > len(buf) {
+			want = len(buf)
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return nil, err
+		}
+		for off := 0; off < want; off += 4 {
+			out[i] = binary.LittleEndian.Uint32(buf[off:])
+			i++
+		}
+	}
+	return out, nil
+}
+
+func writeDict(w io.Writer, d *dict.Dict) error {
+	if err := writeU32(w, uint32(d.Len())); err != nil {
+		return err
+	}
+	_, err := d.WriteTo(w)
+	return err
+}
+
+func readDict(r *bufio.Reader, d *dict.Dict) error {
+	n, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(n); i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("store: dictionary entry %d: %w", i, err)
+		}
+		d.Encode(line[:len(line)-1])
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package watdiv
+
+import (
+	"testing"
+
+	"parj/internal/core"
+	"parj/internal/optimizer"
+	"parj/internal/rdf"
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Triples(2, Config{})
+	b := Triples(2, Config{})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+}
+
+func TestScaleGrows(t *testing.T) {
+	n1 := len(Triples(1, Config{}))
+	n4 := len(Triples(4, Config{}))
+	if n1 < 3000 {
+		t.Errorf("scale 1 = %d triples, too few", n1)
+	}
+	if n4 < 3*n1 {
+		t.Errorf("scale 4 = %d vs scale 1 = %d; want ~4x", n4, n1)
+	}
+}
+
+func TestValidTerms(t *testing.T) {
+	for _, tr := range Triples(1, Config{}) {
+		if rdf.KindOf(tr.S) != rdf.IRI || rdf.KindOf(tr.P) != rdf.IRI {
+			t.Fatalf("bad triple %v", tr)
+		}
+		if k := rdf.KindOf(tr.O); k != rdf.IRI && k != rdf.Literal {
+			t.Fatalf("bad object %q", tr.O)
+		}
+	}
+}
+
+func TestQueryCountsAndNames(t *testing.T) {
+	basic := BasicQueries()
+	if len(basic) != 20 {
+		t.Errorf("basic workload = %d queries, want 20", len(basic))
+	}
+	groups := map[string]int{}
+	for _, q := range basic {
+		groups[q.Group]++
+	}
+	want := map[string]int{"L": 5, "S": 7, "F": 5, "C": 3}
+	for g, n := range want {
+		if groups[g] != n {
+			t.Errorf("group %s has %d queries, want %d", g, groups[g], n)
+		}
+	}
+	il := ILQueries()
+	if len(il) != 18 {
+		t.Errorf("IL workload = %d queries, want 18 (3 families × lengths 5–10)", len(il))
+	}
+	ml := MLQueries()
+	if len(ml) != 12 {
+		t.Errorf("ML workload = %d queries, want 12", len(ml))
+	}
+	if len(AllQueries()) != 50 {
+		t.Errorf("AllQueries = %d, want 50", len(AllQueries()))
+	}
+}
+
+func TestS1HasNinePatterns(t *testing.T) {
+	for _, q := range BasicQueries() {
+		if q.Name == "S1" {
+			parsed, err := sparql.Parse(q.SPARQL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parsed.Patterns) != 9 {
+				t.Errorf("S1 has %d patterns, want 9 (as in WatDiv)", len(parsed.Patterns))
+			}
+		}
+	}
+}
+
+func TestAllQueriesParseAndExecute(t *testing.T) {
+	st := store.LoadTriples(Triples(2, Config{}), store.BuildOptions{})
+	s := stats.New(st)
+	zero := map[string]bool{}
+	for _, q := range AllQueries() {
+		parsed, err := sparql.Parse(q.SPARQL)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", q.Name, err)
+		}
+		plan, err := optimizer.Optimize(parsed, st, s)
+		if err != nil {
+			t.Fatalf("%s: optimize: %v", q.Name, err)
+		}
+		res, err := core.Execute(st, plan, core.Options{Threads: 2, Silent: true})
+		if err != nil {
+			t.Fatalf("%s: execute: %v", q.Name, err)
+		}
+		if res.Count == 0 {
+			zero[q.Name] = true
+		}
+		t.Logf("%s: %d rows", q.Name, res.Count)
+	}
+	// At small scale a few selective queries can legitimately be empty,
+	// but the bulk of the workload must produce answers.
+	if len(zero) > 8 {
+		t.Errorf("%d of %d queries empty at scale 2: %v", len(zero), len(AllQueries()), zero)
+	}
+	for _, name := range []string{"S1", "F1", "C3", "IL-3-5", "ML-2-5"} {
+		if zero[name] {
+			t.Errorf("%s must have answers", name)
+		}
+	}
+}
+
+func TestIL3Explodes(t *testing.T) {
+	st := store.LoadTriples(Triples(2, Config{}), store.BuildOptions{})
+	s := stats.New(st)
+	count := func(src string) int64 {
+		parsed, err := sparql.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := optimizer.Optimize(parsed, st, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Execute(st, plan, core.Options{Threads: 4, Silent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Count
+	}
+	il := ILQueries()
+	var il35, il38, il15 int64
+	for _, q := range il {
+		switch q.Name {
+		case "IL-3-5":
+			il35 = count(q.SPARQL)
+		case "IL-3-8":
+			il38 = count(q.SPARQL)
+		case "IL-1-5":
+			il15 = count(q.SPARQL)
+		}
+	}
+	if il38 <= il35 {
+		t.Errorf("IL-3-8 (%d) should exceed IL-3-5 (%d): longer unbounded paths explode", il38, il35)
+	}
+	if il35 <= il15 {
+		t.Errorf("unbounded IL-3-5 (%d) should exceed anchored IL-1-5 (%d)", il35, il15)
+	}
+}

@@ -1,0 +1,448 @@
+// Package parj is a main-memory, parallel RDF store with adaptive join
+// processing — a Go implementation of the PARJ system from "Scalable
+// Parallelization of RDF Joins on Multicore Architectures" (Bilidas &
+// Koubarakis, EDBT 2019).
+//
+// RDF data is dictionary-encoded and vertically partitioned: every
+// predicate gets a two-column table kept in two sort orders (subject-object
+// and object-subject) with compact CSR storage. SPARQL Basic Graph Patterns
+// are compiled to left-deep join pipelines that workers execute over
+// disjoint shards of the first relation, with zero inter-thread
+// communication. Each probe adaptively switches between cursor-resuming
+// sequential search (merge-join-like) and binary search or an
+// ID-to-Position index (index-nested-loop-like).
+//
+// Quickstart:
+//
+//	b := parj.NewBuilder(parj.LoadOptions{})
+//	b.Add("<alice>", "<knows>", "<bob>")
+//	b.Add("<bob>", "<knows>", "<carol>")
+//	db := b.Build()
+//	res, err := db.Query(`SELECT ?x ?z WHERE { ?x <knows> ?y . ?y <knows> ?z }`,
+//		parj.QueryOptions{})
+package parj
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"parj/internal/core"
+	"parj/internal/optimizer"
+	"parj/internal/rdf"
+	"parj/internal/rdfs"
+	"parj/internal/search"
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+)
+
+// Strategy selects the key-probe method; see the package documentation of
+// internal/core and Table 5 of the paper.
+type Strategy = core.Strategy
+
+// Probe strategies.
+const (
+	// AdaptiveBinary switches per probe between sequential and binary
+	// search (the paper's AdBinary; the default).
+	AdaptiveBinary = core.AdaptiveBinary
+	// BinaryOnly always binary-searches the key array.
+	BinaryOnly = core.BinaryOnly
+	// IndexOnly always uses the ID-to-Position index (requires
+	// LoadOptions.PosIndex).
+	IndexOnly = core.IndexOnly
+	// AdaptiveIndex switches between sequential search and the
+	// ID-to-Position index (requires LoadOptions.PosIndex).
+	AdaptiveIndex = core.AdaptiveIndex
+)
+
+// LoadOptions configures data loading.
+type LoadOptions struct {
+	// PosIndex builds the ID-to-Position index for every table, enabling
+	// the IndexOnly and AdaptiveIndex strategies at ~N/8 bytes per table
+	// extra memory.
+	PosIndex bool
+	// Calibrate runs the paper's timing-based calibration (Algorithm 2)
+	// after loading to derive adaptive thresholds; when false, the
+	// paper-reported defaults are used (deterministic, and accurate on
+	// commodity hardware).
+	Calibrate bool
+}
+
+func (o LoadOptions) buildOptions() store.BuildOptions {
+	return store.BuildOptions{
+		Calibrate:     o.Calibrate,
+		BuildPosIndex: o.PosIndex,
+	}
+}
+
+// QueryOptions configures one query execution.
+type QueryOptions struct {
+	// Threads is the number of worker threads; 0 uses GOMAXPROCS.
+	Threads int
+	// Strategy is the probe strategy (default AdaptiveBinary).
+	Strategy Strategy
+	// Silent counts results without materializing or decoding rows — the
+	// measurement mode used in the paper's experiments.
+	Silent bool
+	// Entailment evaluates the query with respect to the rdfs:subClassOf
+	// and rdfs:subPropertyOf hierarchies found in the data, by unioning
+	// tables inside the join pipeline instead of materializing implied
+	// triples (the paper's §6 extension). Patterns over rdf:type match
+	// subclasses; patterns over a property match its subproperties.
+	Entailment bool
+}
+
+// Results holds a query's outcome.
+type Results struct {
+	// Vars names the projected columns.
+	Vars []string
+	// Rows holds the decoded result rows (nil in silent mode).
+	Rows [][]string
+	// Count is the number of result rows after DISTINCT/LIMIT.
+	Count int64
+	// ProbeStats reports how many probes used each search strategy.
+	ProbeStats search.Stats
+}
+
+// Store is an immutable, fully in-memory RDF database. It is safe for
+// concurrent queries.
+type Store struct {
+	st    *store.Store
+	stats *stats.Stats
+
+	hierOnce sync.Once
+	hier     *rdfs.Hierarchy
+}
+
+// hierarchy lazily computes the RDFS closures on first entailment query.
+func (s *Store) hierarchy() *rdfs.Hierarchy {
+	s.hierOnce.Do(func() {
+		s.hier = rdfs.New(s.st, "", "", "")
+	})
+	return s.hier
+}
+
+// Builder accumulates triples for a Store.
+type Builder struct {
+	b    *store.Builder
+	opts LoadOptions
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder(opts LoadOptions) *Builder {
+	return &Builder{b: store.NewBuilder(), opts: opts}
+}
+
+// Add inserts one triple given in N-Triples term syntax (IRIs in angle
+// brackets, literals quoted).
+func (b *Builder) Add(subject, predicate, object string) {
+	b.b.Add(subject, predicate, object)
+}
+
+// Build freezes the builder into a Store. The Builder must not be used
+// afterwards.
+func (b *Builder) Build() *Store {
+	st := b.b.Build(b.opts.buildOptions())
+	return &Store{st: st, stats: stats.New(st)}
+}
+
+// Load reads an N-Triples document and builds a Store.
+func Load(r io.Reader, opts LoadOptions) (*Store, error) {
+	b := NewBuilder(opts)
+	rd := rdf.NewReader(r)
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.b.AddTriple(t)
+	}
+	return b.Build(), nil
+}
+
+// LoadFile reads an N-Triples file (or a .snapshot file written by
+// SaveSnapshotFile) and builds a Store.
+func LoadFile(path string, opts LoadOptions) (*Store, error) {
+	if strings.HasSuffix(path, ".snapshot") {
+		return LoadSnapshotFile(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, opts)
+}
+
+// SaveSnapshot writes a binary snapshot of the store that LoadSnapshot can
+// reload without re-parsing or re-sorting — the role the paper's SQLite
+// backing store played for its prototype.
+func (s *Store) SaveSnapshot(w io.Writer) error { return s.st.Save(w) }
+
+// SaveSnapshotFile writes the snapshot to a file.
+func (s *Store) SaveSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.st.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSnapshot reloads a store saved with SaveSnapshot.
+func LoadSnapshot(r io.Reader) (*Store, error) {
+	st, err := store.LoadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{st: st, stats: stats.New(st)}, nil
+}
+
+// LoadSnapshotFile reloads a store from a snapshot file.
+func LoadSnapshotFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSnapshot(f)
+}
+
+// NumTriples reports the number of distinct triples stored.
+func (s *Store) NumTriples() int { return s.st.NumTriples() }
+
+// NumPredicates reports the number of distinct predicates.
+func (s *Store) NumPredicates() int { return s.st.NumPredicates() }
+
+// NumResources reports the number of distinct subjects/objects.
+func (s *Store) NumResources() int { return s.st.Resources.Len() }
+
+// MemoryBytes reports the table payload size in bytes (dictionaries
+// excluded), the figure the paper quotes for storage compactness.
+func (s *Store) MemoryBytes() int { return s.st.Bytes() }
+
+// PredicateInfo describes one predicate's tables.
+type PredicateInfo struct {
+	IRI              string
+	Triples          int
+	DistinctSubjects int
+	DistinctObjects  int
+}
+
+// PredicateInfos lists every predicate with its table statistics (the
+// paper's 2×#properties directory, §3, decoded for humans).
+func (s *Store) PredicateInfos() []PredicateInfo {
+	out := make([]PredicateInfo, s.st.NumPredicates())
+	for p := 1; p <= s.st.NumPredicates(); p++ {
+		out[p-1] = PredicateInfo{
+			IRI:              s.st.Predicates.Decode(uint32(p)),
+			Triples:          s.st.SO(uint32(p)).NumTriples(),
+			DistinctSubjects: s.st.SO(uint32(p)).NumKeys(),
+			DistinctObjects:  s.st.OS(uint32(p)).NumKeys(),
+		}
+	}
+	return out
+}
+
+// Query parses, optimizes and executes a SPARQL query. ORDER BY sorts the
+// decoded terms lexicographically (ascending unless DESC); OFFSET skips
+// rows after ordering and before LIMIT.
+func (s *Store) Query(src string, opts QueryOptions) (*Results, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parj: %w", err)
+	}
+	var x optimizer.Expander
+	if opts.Entailment {
+		x = s.hierarchy()
+	}
+	plan, err := optimizer.OptimizeExpanded(q, s.st, s.stats, x)
+	if err != nil {
+		return nil, fmt.Errorf("parj: %w", err)
+	}
+
+	post := len(q.OrderBy) > 0 || q.Offset > 0
+	execOpts := core.Options{Threads: opts.Threads, Strategy: opts.Strategy, Silent: opts.Silent}
+	if post {
+		// Ordering and offsets need the full, materialized result: the
+		// engine must not truncate early, and rows must be decoded to sort
+		// by term.
+		plan.Limit = 0
+		execOpts.Silent = false
+	}
+	res, err := core.Execute(s.st, plan, execOpts)
+	if err != nil {
+		return nil, fmt.Errorf("parj: %w", err)
+	}
+	out := &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats}
+	if !post {
+		if !opts.Silent {
+			out.Rows = res.StringRows(s.st)
+		}
+		return out, nil
+	}
+
+	rows := res.StringRows(s.st)
+	if len(q.OrderBy) > 0 {
+		cols := make([]int, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			cols[i] = -1
+			for j, v := range out.Vars {
+				if v == k.Var {
+					cols[i] = j
+				}
+			}
+		}
+		sort.SliceStable(rows, func(a, b int) bool {
+			for i, c := range cols {
+				if c < 0 || rows[a][c] == rows[b][c] {
+					continue
+				}
+				less := rows[a][c] < rows[b][c]
+				if q.OrderBy[i].Desc {
+					return !less
+				}
+				return less
+			}
+			return false
+		})
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = rows[:0]
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.HasLimit && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	out.Count = int64(len(rows))
+	if !opts.Silent {
+		out.Rows = rows
+	}
+	return out, nil
+}
+
+// QueryStream executes src and delivers decoded rows to fn as they are
+// produced, without buffering the result set — the paper's iterator-style
+// full-result handling (§5.2), which keeps memory bounded even for
+// billion-row results. fn runs on a single goroutine and returns false to
+// cancel. DISTINCT and LIMIT require buffering and are rejected; use Query.
+// The returned count is the number of rows delivered.
+func (s *Store) QueryStream(src string, opts QueryOptions, fn func(row []string) bool) (int64, error) {
+	plan, err := s.plan(src, opts.Entailment)
+	if err != nil {
+		return 0, err
+	}
+	return core.ExecuteStream(s.st, plan, core.Options{
+		Threads:  opts.Threads,
+		Strategy: opts.Strategy,
+	}, func(row []uint32) bool {
+		dec := make([]string, len(row))
+		for i, id := range row {
+			slot := plan.Project[i]
+			if plan.SlotIsPred[slot] {
+				dec[i] = s.st.Predicates.Decode(id)
+			} else {
+				dec[i] = s.st.Resources.Decode(id)
+			}
+		}
+		return fn(dec)
+	})
+}
+
+// Prepared is a parsed and optimized query, reusable across executions.
+// The paper observes that for fast star queries (WatDiv S1) planning
+// dominates the total time; preparing once removes that cost from repeated
+// executions. Prepared queries are immutable and safe for concurrent use.
+type Prepared struct {
+	s    *Store
+	plan *optimizer.Plan
+}
+
+// Prepare parses and optimizes src once. Entailment selects
+// hierarchy-aware planning, as in QueryOptions.
+func (s *Store) Prepare(src string, entailment bool) (*Prepared, error) {
+	plan, err := s.plan(src, entailment)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{s: s, plan: plan}, nil
+}
+
+// Query executes the prepared plan.
+func (p *Prepared) Query(opts QueryOptions) (*Results, error) {
+	res, err := core.Execute(p.s.st, p.plan, core.Options{
+		Threads:  opts.Threads,
+		Strategy: opts.Strategy,
+		Silent:   opts.Silent,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("parj: %w", err)
+	}
+	out := &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats}
+	if !opts.Silent {
+		out.Rows = res.StringRows(p.s.st)
+	}
+	return out, nil
+}
+
+// Count executes the prepared plan in silent mode.
+func (p *Prepared) Count(opts QueryOptions) (int64, error) {
+	opts.Silent = true
+	res, err := p.Query(opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// Explain describes the prepared plan.
+func (p *Prepared) Explain() string { return p.plan.Explain() }
+
+// Count executes src in silent mode and returns only the result count.
+func (s *Store) Count(src string, opts QueryOptions) (int64, error) {
+	opts.Silent = true
+	res, err := s.Query(src, opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// Explain returns a human-readable description of the plan chosen for src.
+func (s *Store) Explain(src string) (string, error) {
+	plan, err := s.plan(src, false)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(), nil
+}
+
+func (s *Store) plan(src string, entail bool) (*optimizer.Plan, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parj: %w", err)
+	}
+	var x optimizer.Expander
+	if entail {
+		x = s.hierarchy()
+	}
+	plan, err := optimizer.OptimizeExpanded(q, s.st, s.stats, x)
+	if err != nil {
+		return nil, fmt.Errorf("parj: %w", err)
+	}
+	return plan, nil
+}
+

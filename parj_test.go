@@ -1,0 +1,289 @@
+package parj
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func familyStore(t *testing.T, opts LoadOptions) *Store {
+	t.Helper()
+	b := NewBuilder(opts)
+	b.Add("<alice>", "<knows>", "<bob>")
+	b.Add("<bob>", "<knows>", "<carol>")
+	b.Add("<carol>", "<knows>", "<dave>")
+	b.Add("<alice>", "<age>", `"30"`)
+	b.Add("<bob>", "<age>", `"25"`)
+	return b.Build()
+}
+
+func TestBuilderAndQuery(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	if db.NumTriples() != 5 || db.NumPredicates() != 2 {
+		t.Fatalf("triples=%d predicates=%d", db.NumTriples(), db.NumPredicates())
+	}
+	res, err := db.Query(`SELECT ?x ?z WHERE { ?x <knows> ?y . ?y <knows> ?z }`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Vars, []string{"x", "z"}) {
+		t.Errorf("Vars = %v", res.Vars)
+	}
+	want := map[string]bool{"<alice> <carol>": true, "<bob> <dave>": true}
+	if int(res.Count) != len(want) || len(res.Rows) != len(want) {
+		t.Fatalf("count=%d rows=%v", res.Count, res.Rows)
+	}
+	for _, row := range res.Rows {
+		if !want[strings.Join(row, " ")] {
+			t.Errorf("unexpected row %v", row)
+		}
+	}
+}
+
+func TestLiteralObjects(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	res, err := db.Query(`SELECT ?x WHERE { ?x <age> "30" }`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.Rows[0][0] != "<alice>" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestSilentCountAndCountHelper(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	res, err := db.Query(`SELECT ?x ?y WHERE { ?x <knows> ?y }`, QueryOptions{Silent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3 || res.Rows != nil {
+		t.Errorf("silent: count=%d rows=%v", res.Count, res.Rows)
+	}
+	n, err := db.Count(`SELECT ?x ?y WHERE { ?x <knows> ?y }`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("Count = %d, want 3", n)
+	}
+}
+
+func TestIndexStrategies(t *testing.T) {
+	db := familyStore(t, LoadOptions{PosIndex: true})
+	for _, strat := range []Strategy{IndexOnly, AdaptiveIndex} {
+		res, err := db.Query(`SELECT ?x ?z WHERE { ?x <knows> ?y . ?y <knows> ?z }`,
+			QueryOptions{Strategy: strat})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if res.Count != 2 {
+			t.Errorf("%v: count = %d, want 2", strat, res.Count)
+		}
+	}
+	// Without the index, the strategies must fail loudly.
+	plain := familyStore(t, LoadOptions{})
+	if _, err := plain.Query(`SELECT ?x WHERE { ?x <knows> ?y . ?y <knows> ?z }`,
+		QueryOptions{Strategy: IndexOnly}); err == nil {
+		t.Error("IndexOnly without PosIndex succeeded")
+	}
+}
+
+func TestLoadFromReaderAndFile(t *testing.T) {
+	doc := `<http://a> <http://p> <http://b> .
+<http://b> <http://p> <http://c> .
+`
+	db, err := Load(strings.NewReader(doc), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTriples() != 2 {
+		t.Fatalf("NumTriples = %d", db.NumTriples())
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.nt")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadFile(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := db2.Count(`SELECT ?x ?z WHERE { ?x <http://p> ?y . ?y <http://p> ?z }`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("Count = %d, want 1", n)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not ntriples\n"), LoadOptions{}); err == nil {
+		t.Error("malformed N-Triples accepted")
+	}
+	if _, err := LoadFile("/nonexistent/file.nt", LoadOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	if _, err := db.Query(`not sparql`, QueryOptions{}); err == nil {
+		t.Error("malformed SPARQL accepted")
+	}
+	if _, err := db.Query(`SELECT ?p WHERE { ?s ?p ?o . ?p <knows> ?x }`, QueryOptions{}); err == nil {
+		t.Error("namespace-mixing query accepted")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	exp, err := db.Explain(`SELECT ?x WHERE { ?x <knows> <bob> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp, "O-S") {
+		t.Errorf("Explain = %q, want O-S replica choice", exp)
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	db := familyStore(t, LoadOptions{PosIndex: true})
+	if db.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive")
+	}
+	if db.NumResources() == 0 {
+		t.Error("NumResources zero")
+	}
+}
+
+func TestUnknownConstantGivesEmptyResult(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	res, err := db.Query(`SELECT ?x WHERE { ?x <knows> <nobody> }`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 || len(res.Rows) != 0 {
+		t.Errorf("expected empty result, got %v", res.Rows)
+	}
+	if !reflect.DeepEqual(res.Vars, []string{"x"}) {
+		t.Errorf("empty result lost header: %v", res.Vars)
+	}
+}
+
+func TestQueryStream(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	var rows [][]string
+	n, err := db.QueryStream(`SELECT ?x ?y WHERE { ?x <knows> ?y }`, QueryOptions{},
+		func(row []string) bool {
+			rows = append(rows, row)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(rows) != 3 {
+		t.Fatalf("streamed %d rows (callback %d), want 3", n, len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != 2 || r[0] == "" {
+			t.Errorf("bad row %v", r)
+		}
+	}
+	// Early cancel.
+	count := 0
+	if _, err := db.QueryStream(`SELECT ?x ?y WHERE { ?x <knows> ?y }`, QueryOptions{},
+		func([]string) bool { count++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("cancelled stream ran callback %d times, want 1", count)
+	}
+	// DISTINCT rejected.
+	if _, err := db.QueryStream(`SELECT DISTINCT ?x WHERE { ?x <knows> ?y }`, QueryOptions{},
+		func([]string) bool { return true }); err == nil {
+		t.Error("DISTINCT stream accepted")
+	}
+}
+
+func TestPreparedQuery(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	p, err := db.Prepare(`SELECT ?x ?z WHERE { ?x <knows> ?y . ?y <knows> ?z }`, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := p.Query(QueryOptions{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 2 {
+			t.Fatalf("run %d: count = %d, want 2", i, res.Count)
+		}
+	}
+	n, err := p.Count(QueryOptions{})
+	if err != nil || n != 2 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+	if p.Explain() == "" {
+		t.Error("empty Explain")
+	}
+	if _, err := db.Prepare(`broken`, false); err == nil {
+		t.Error("broken query prepared")
+	}
+}
+
+func TestPredicateInfos(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	infos := db.PredicateInfos()
+	if len(infos) != 2 {
+		t.Fatalf("infos = %d, want 2", len(infos))
+	}
+	byIRI := map[string]PredicateInfo{}
+	for _, pi := range infos {
+		byIRI[pi.IRI] = pi
+	}
+	k := byIRI["<knows>"]
+	if k.Triples != 3 || k.DistinctSubjects != 3 || k.DistinctObjects != 3 {
+		t.Errorf("knows info = %+v", k)
+	}
+}
+
+func TestOrderByAndOffset(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	res, err := db.Query(`SELECT ?x ?y WHERE { ?x <knows> ?y } ORDER BY ?x`, QueryOptions{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"<alice>", "<bob>"}, {"<bob>", "<carol>"}, {"<carol>", "<dave>"}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("ORDER BY ?x: %v", res.Rows)
+	}
+	res, err = db.Query(`SELECT ?x ?y WHERE { ?x <knows> ?y } ORDER BY DESC(?x)`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "<carol>" || res.Rows[2][0] != "<alice>" {
+		t.Fatalf("DESC order: %v", res.Rows)
+	}
+	// OFFSET skips after ordering; LIMIT caps after the offset.
+	res, err = db.Query(`SELECT ?x ?y WHERE { ?x <knows> ?y } ORDER BY ?x LIMIT 1 OFFSET 1`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.Rows[0][0] != "<bob>" {
+		t.Fatalf("LIMIT 1 OFFSET 1: count=%d rows=%v", res.Count, res.Rows)
+	}
+	// Offset beyond the result set.
+	n, err := db.Count(`SELECT ?x ?y WHERE { ?x <knows> ?y } OFFSET 10`, QueryOptions{})
+	if err != nil || n != 0 {
+		t.Fatalf("big offset: n=%d err=%v", n, err)
+	}
+	// ORDER BY must reference a projected variable.
+	if _, err := db.Query(`SELECT ?x WHERE { ?x <knows> ?y } ORDER BY ?y`, QueryOptions{}); err == nil {
+		t.Error("ORDER BY on unprojected variable accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package parj
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotAPIRoundTrip(t *testing.T) {
+	db := familyStore(t, LoadOptions{PosIndex: true})
+	var buf bytes.Buffer
+	if err := db.SaveSnapshot(&buf); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	db2, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if db2.NumTriples() != db.NumTriples() {
+		t.Fatalf("triples %d != %d", db2.NumTriples(), db.NumTriples())
+	}
+	n, err := db2.Count(`SELECT ?x ?z WHERE { ?x <knows> ?y . ?y <knows> ?z }`,
+		QueryOptions{Strategy: AdaptiveIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("count after snapshot reload = %d, want 2", n)
+	}
+}
+
+func TestSnapshotFileRoundTripViaLoadFile(t *testing.T) {
+	db := familyStore(t, LoadOptions{})
+	path := filepath.Join(t.TempDir(), "family.snapshot")
+	if err := db.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// LoadFile dispatches on the .snapshot suffix.
+	db2, err := LoadFile(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := db2.Count(`SELECT ?x ?y WHERE { ?x <knows> ?y }`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("count = %d, want 3", n)
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := LoadSnapshot(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
