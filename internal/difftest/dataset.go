@@ -1,0 +1,197 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"parj/internal/rdf"
+	"parj/internal/rdfs"
+)
+
+// Dataset is one generated workload plus the term pools the query generator
+// draws constants from.
+type Dataset struct {
+	Seed    int64
+	Triples []rdf.Triple
+
+	// Predicates lists the distinct predicate IRIs actually used.
+	Predicates []string
+	// Resources lists the distinct subject/object IRIs actually used.
+	Resources []string
+	// Literals lists the distinct literals used in object position.
+	Literals []string
+	// Classes lists the class IRIs when the dataset carries an ontology
+	// (rdf:type plus rdfs:subClassOf/subPropertyOf triples); empty
+	// otherwise.
+	Classes []string
+}
+
+// HasOntology reports whether entailment queries are meaningful on this
+// dataset.
+func (d *Dataset) HasOntology() bool { return len(d.Classes) > 0 }
+
+// DatasetConfig bounds generation.
+type DatasetConfig struct {
+	// MaxTriples caps the dataset size before deduplication (default 300).
+	MaxTriples int
+	// Wide permits the resource universe to exceed the posindex anchor
+	// interval (512 IDs), so key bitmaps straddle anchor boundaries.
+	// Wide datasets pair with selective queries; the oracle budget skips
+	// the rest.
+	Wide bool
+}
+
+func (c *DatasetConfig) fill() {
+	if c.MaxTriples <= 0 {
+		c.MaxTriples = 300
+	}
+}
+
+// GenDataset draws one adversarial dataset from rng. The same seed always
+// produces the same dataset. Shapes the generator aims at (the cases the
+// paper's probe strategies and sharding are most sensitive to):
+//
+//   - skewed predicates: a zipf-ish weighting concentrates most triples in
+//     one predicate, so one table dominates sharding;
+//   - dense self-joins: small resource universes make chains and cycles
+//     revisit the same keys, exercising cursor resumption back and forth;
+//   - high-duplicate object columns: a few hot objects give long runs in
+//     O-S tables;
+//   - anchor straddling (Wide): >512 distinct resources push dictionary IDs
+//     across posindex anchor blocks, covering the anchor+popcount path at
+//     block boundaries;
+//   - an optional RDFS ontology (subclass/subproperty hierarchies plus
+//     rdf:type assertions) for entailment differentials.
+func GenDataset(rng *rand.Rand, cfg DatasetConfig) *Dataset {
+	cfg.fill()
+	ds := &Dataset{Seed: rng.Int63()}
+
+	// Universe sizes. Dense wants few resources; Wide wants IDs past the
+	// 512-bit anchor interval.
+	nPred := 1 + rng.Intn(6)
+	nRes := 8 + rng.Intn(40)
+	switch {
+	case cfg.Wide:
+		nRes = 600 + rng.Intn(900)
+	case rng.Intn(3) == 0: // medium
+		nRes = 60 + rng.Intn(200)
+	}
+	nLit := 1 + rng.Intn(6)
+	nTriples := cfg.MaxTriples/2 + rng.Intn(cfg.MaxTriples/2+1)
+
+	preds := make([]string, nPred)
+	for i := range preds {
+		preds[i] = fmt.Sprintf("<p%d>", i)
+	}
+	res := make([]string, nRes)
+	for i := range res {
+		res[i] = fmt.Sprintf("<r%d>", i)
+	}
+	lits := make([]string, nLit)
+	for i := range lits {
+		lits[i] = fmt.Sprintf("%q", fmt.Sprintf("lit%d", i))
+	}
+
+	// Zipf-ish predicate weights: predicate i drawn with weight 1/(i+1).
+	pickPred := func() string {
+		for {
+			i := rng.Intn(nPred)
+			if rng.Float64() < 1/float64(i+1) {
+				return preds[i]
+			}
+		}
+	}
+	// A handful of hot objects soak up half the object column.
+	hot := make([]string, 1+rng.Intn(3))
+	for i := range hot {
+		hot[i] = res[rng.Intn(nRes)]
+	}
+	pickObj := func() string {
+		switch {
+		case rng.Float64() < 0.4:
+			return hot[rng.Intn(len(hot))]
+		case rng.Float64() < 0.2:
+			return lits[rng.Intn(nLit)]
+		default:
+			return res[rng.Intn(nRes)]
+		}
+	}
+
+	seen := map[rdf.Triple]bool{}
+	add := func(t rdf.Triple) {
+		if !seen[t] {
+			seen[t] = true
+			ds.Triples = append(ds.Triples, t)
+		}
+	}
+	for i := 0; i < nTriples; i++ {
+		add(rdf.Triple{S: res[rng.Intn(nRes)], P: pickPred(), O: pickObj()})
+	}
+
+	// Optional ontology: a small class tree plus one property hierarchy.
+	if rng.Intn(3) == 0 {
+		nClasses := 2 + rng.Intn(3)
+		for i := 0; i < nClasses; i++ {
+			ds.Classes = append(ds.Classes, fmt.Sprintf("<C%d>", i))
+		}
+		// Chain-shaped subclass edges C1 -> C0, C2 -> C1, ... with an
+		// occasional diamond back to the root.
+		for i := 1; i < nClasses; i++ {
+			parent := ds.Classes[i-1]
+			if rng.Intn(3) == 0 {
+				parent = ds.Classes[0]
+			}
+			add(rdf.Triple{S: ds.Classes[i], P: rdfs.SubClassOf, O: parent})
+		}
+		nTyped := 3 + rng.Intn(10)
+		for i := 0; i < nTyped; i++ {
+			add(rdf.Triple{
+				S: res[rng.Intn(nRes)],
+				P: rdfs.RDFType,
+				O: ds.Classes[rng.Intn(nClasses)],
+			})
+		}
+		if nPred >= 2 {
+			// p1 ⊑ p0: both asserted in the data, so queries over p0 see
+			// the union of two non-empty tables under entailment.
+			add(rdf.Triple{S: preds[1], P: rdfs.SubPropertyOf, O: preds[0]})
+		}
+	}
+
+	// Deterministic shuffle: load order influences nothing semantically,
+	// but varying it exercises builder sorting on differently ordered input.
+	rng.Shuffle(len(ds.Triples), func(i, j int) {
+		ds.Triples[i], ds.Triples[j] = ds.Triples[j], ds.Triples[i]
+	})
+
+	ds.finishPools()
+	return ds
+}
+
+// finishPools recomputes the constant pools from the triples. It is also
+// used by the shrinker after reducing the triple set.
+func (d *Dataset) finishPools() {
+	predSet, resSet, litSet := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, t := range d.Triples {
+		predSet[t.P] = true
+		resSet[t.S] = true
+		if rdf.KindOf(t.O) == rdf.Literal {
+			litSet[t.O] = true
+		} else {
+			resSet[t.O] = true
+		}
+	}
+	d.Predicates = sortedKeys(predSet)
+	d.Resources = sortedKeys(resSet)
+	d.Literals = sortedKeys(litSet)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,164 @@
+// Package difftest is a deterministic differential-testing harness for
+// every query engine in this repository. It generates seeded random
+// datasets with adversarial shapes and seeded random Basic Graph Patterns,
+// evaluates each (dataset, query) pair on the naive reference oracle and on
+// the full engine matrix — PARJ under all four probe strategies at several
+// worker counts, plus the hashjoin, rdf3x, btree and triad baselines — and
+// diffs the result multisets. Failing pairs are greedily shrunk to a small
+// repro printed as a ready-to-paste Go test.
+//
+// Alongside the oracle diff, the harness applies metamorphic checks that
+// need no oracle at all: pattern-order permutation invariance, DISTINCT
+// idempotence, COUNT vs materialized-row agreement, and snapshot save/load
+// round-trip equivalence.
+//
+// Entry points: the go test files in this package (seed-matrix smoke in
+// short mode, a large matrix behind -long), and cmd/parj-fuzz for
+// open-ended soak runs.
+package difftest
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"parj/internal/bench"
+	"parj/internal/core"
+	"parj/internal/optimizer"
+	"parj/internal/rdfs"
+)
+
+// EngineConfig names one engine configuration of the differential matrix
+// and knows how to instantiate it over a loaded dataset. Make must be
+// callable repeatedly (the shrinker rebuilds engines over reduced data).
+type EngineConfig struct {
+	Name string
+	// Entail marks configurations that evaluate with RDFS entailment; they
+	// are diffed against the oracle over forward-chained triples and only
+	// run on queries generated for entailment.
+	Entail bool
+	Make   func(d *bench.Dataset) bench.RowEngine
+}
+
+// strategies is the full probe-strategy axis of the matrix (Table 5).
+var strategies = []core.Strategy{
+	core.AdaptiveBinary, core.BinaryOnly, core.IndexOnly, core.AdaptiveIndex,
+}
+
+// WorkerCounts returns the worker-count axis of the matrix: 1, 2 and
+// NumCPU, deduplicated (on a dual-core host that is {1, 2}).
+func WorkerCounts() []int {
+	counts := []int{1, 2, runtime.NumCPU()}
+	var out []int
+	for _, c := range counts {
+		dup := false
+		for _, o := range out {
+			if o == c {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Configs returns the plain-semantics differential matrix: PARJ under every
+// strategy at each worker count, plus the four baselines. A nil workers
+// slice selects WorkerCounts().
+func Configs(workers []int) []EngineConfig {
+	if workers == nil {
+		workers = WorkerCounts()
+	}
+	var out []EngineConfig
+	for _, s := range strategies {
+		for _, w := range workers {
+			s, w := s, w
+			out = append(out, EngineConfig{
+				Name: fmt.Sprintf("parj-%s-w%d", s, w),
+				Make: func(d *bench.Dataset) bench.RowEngine {
+					return d.PARJRows(fmt.Sprintf("parj-%s-w%d", s, w), w, s, nil)
+				},
+			})
+		}
+	}
+	out = append(out,
+		EngineConfig{Name: "hashjoin", Make: func(d *bench.Dataset) bench.RowEngine { return d.HashJoinRows() }},
+		EngineConfig{Name: "rdf3x", Make: func(d *bench.Dataset) bench.RowEngine { return d.RDF3XRows() }},
+		// Tiny pages force every scan across many page boundaries,
+		// stressing the B+ tree cursor logic itself.
+		EngineConfig{Name: "btree", Make: func(d *bench.Dataset) bench.RowEngine { return d.BTreeRows(4) }},
+		EngineConfig{Name: "triad", Make: func(d *bench.Dataset) bench.RowEngine { return d.TriADRows(0) }},
+	)
+	return out
+}
+
+// EntailConfigs returns the entailment matrix: PARJ (the only engine with
+// backward-chained RDFS support) under every strategy at each worker count.
+// The oracle side evaluates over rdfs.ForwardChain-materialized triples.
+func EntailConfigs(workers []int) []EngineConfig {
+	if workers == nil {
+		workers = WorkerCounts()
+	}
+	var out []EngineConfig
+	for _, s := range strategies {
+		for _, w := range workers {
+			s, w := s, w
+			name := fmt.Sprintf("parj-entail-%s-w%d", s, w)
+			out = append(out, EngineConfig{
+				Name:   name,
+				Entail: true,
+				Make: func(d *bench.Dataset) bench.RowEngine {
+					st, _ := d.Store()
+					return d.PARJRows(name, w, s, rdfs.New(st, "", "", ""))
+				},
+			})
+		}
+	}
+	return out
+}
+
+// FindConfig resolves an engine-configuration name as produced by Configs
+// or EntailConfigs, for replaying shrunk repros. PARJ names are parsed
+// rather than looked up, so a repro recorded on a many-core host replays on
+// any machine ("parj-AdBinary-w8" works on a dual-core laptop).
+func FindConfig(name string) (EngineConfig, error) {
+	for _, c := range append(Configs(nil), EntailConfigs(nil)...) {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	rest, entail := strings.CutPrefix(name, "parj-entail-")
+	if !entail {
+		var plain bool
+		rest, plain = strings.CutPrefix(name, "parj-")
+		if !plain {
+			return EngineConfig{}, fmt.Errorf("difftest: unknown engine config %q", name)
+		}
+	}
+	wIdx := strings.LastIndex(rest, "-w")
+	if wIdx < 0 {
+		return EngineConfig{}, fmt.Errorf("difftest: unknown engine config %q", name)
+	}
+	w, err := strconv.Atoi(rest[wIdx+2:])
+	if err != nil || w < 1 {
+		return EngineConfig{}, fmt.Errorf("difftest: unknown engine config %q", name)
+	}
+	stratName := rest[:wIdx]
+	for _, s := range strategies {
+		if s.String() == stratName {
+			s := s
+			return EngineConfig{Name: name, Entail: entail, Make: func(d *bench.Dataset) bench.RowEngine {
+				var x optimizer.Expander
+				if entail {
+					st, _ := d.Store()
+					x = rdfs.New(st, "", "", "")
+				}
+				return d.PARJRows(name, w, s, x)
+			}}, nil
+		}
+	}
+	return EngineConfig{}, fmt.Errorf("difftest: unknown engine config %q", name)
+}

@@ -1,0 +1,143 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"parj/internal/bench"
+	"parj/internal/core"
+	"parj/internal/optimizer"
+	"parj/internal/reference"
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+)
+
+// metamorphicChecks applies the oracle-free invariants to one (dataset,
+// query) pair on a single PARJ configuration (AdaptiveBinary, 2 workers —
+// the default strategy under real parallelism). The oracle diff already
+// covers the full matrix, so one configuration here keeps these checks
+// cheap while still catching invariant violations the oracle could share
+// with the engine (both would have to break the same way for a bug to slip
+// past both layers).
+//
+// Checks:
+//
+//   - permutation invariance: reordering BGP patterns must not change the
+//     result multiset (the optimizer re-derives the join order);
+//   - DISTINCT idempotence: DISTINCT(Q) must equal Dedup(Q);
+//   - COUNT agreement: the silent counting path must agree with the number
+//     of materialized rows;
+//   - snapshot round-trip (once per dataset): Save + LoadSnapshot must
+//     yield a store that answers the query identically.
+func metamorphicChecks(rng *rand.Rand, benchDS *bench.Dataset, ds *Dataset, q *Query, parsed *sparql.Query, checkSnapshot bool) []Failure {
+	var fails []Failure
+	fail := func(check, diff string) {
+		fails = append(fails, Failure{
+			Engine: check, Query: q.Src(), Diff: diff, Triples: ds.Triples,
+		})
+	}
+
+	eng := benchDS.PARJRows("meta", 2, core.AdaptiveBinary, nil)
+	base, err := eng.Evaluate(parsed)
+	if err != nil {
+		fail("meta-base", "error: "+err.Error())
+		return fails
+	}
+
+	// Permutation invariance. LIMIT is allowed to truncate differently
+	// under a different join order, so limited queries sit this one out.
+	// Both sides get the same explicit projection: SELECT * lays columns
+	// out in variable-appearance order, which permuting patterns changes.
+	if !q.HasLimit && len(q.Patterns) > 1 {
+		fixed := q.Clone()
+		if vars := fixed.vars(); len(vars) > 0 {
+			fixed.Star = false
+			fixed.Select = append([]string(nil), vars...)
+			sort.Strings(fixed.Select)
+		}
+		perm := fixed.Clone()
+		rng.Shuffle(len(perm.Patterns), func(i, j int) {
+			perm.Patterns[i], perm.Patterns[j] = perm.Patterns[j], perm.Patterns[i]
+		})
+		fixedRows, err := evalSrc(eng, fixed)
+		permRows, err2 := evalSrc(eng, perm)
+		switch {
+		case err != nil:
+			fail("meta-permutation", "error: "+err.Error())
+		case err2 != nil:
+			fail("meta-permutation", "error: "+err2.Error())
+		default:
+			if diff := reference.DiffMultisets(fixedRows, permRows); diff != "" {
+				fail("meta-permutation", fmt.Sprintf("permuted BGP %q: %s", perm.Src(), diff))
+			}
+		}
+	}
+
+	// DISTINCT idempotence: evaluating with DISTINCT must match deduping
+	// the plain result.
+	if !q.Distinct && !q.HasLimit {
+		dq := q.Clone()
+		dq.Distinct = true
+		if dParsed, err := sparql.Parse(dq.Src()); err != nil {
+			fail("meta-distinct", "parse: "+err.Error())
+		} else if rows, err := eng.Evaluate(dParsed); err != nil {
+			fail("meta-distinct", "error: "+err.Error())
+		} else if diff := reference.DiffMultisets(reference.Dedup(base), rows); diff != "" {
+			fail("meta-distinct", diff)
+		}
+	}
+
+	// COUNT agreement: the silent path must count what the materializing
+	// path returns. Same strategy and worker count as eng.
+	if n, err := benchDS.PARJ("meta-count", 2, core.AdaptiveBinary).Count(parsed); err != nil {
+		fail("meta-count", "error: "+err.Error())
+	} else if n != int64(len(base)) {
+		fail("meta-count", fmt.Sprintf("silent COUNT %d vs %d materialized rows", n, len(base)))
+	}
+
+	// Snapshot round-trip, once per dataset: the reloaded store (indexes
+	// rebuilt from the snapshot's tables) must answer identically.
+	if checkSnapshot {
+		if rows, err := snapshotEvaluate(benchDS, parsed); err != nil {
+			fail("meta-snapshot", "error: "+err.Error())
+		} else if diff := reference.DiffMultisets(base, rows); diff != "" {
+			fail("meta-snapshot", diff)
+		}
+	}
+	return fails
+}
+
+// evalSrc renders, parses and evaluates q on eng.
+func evalSrc(eng bench.RowEngine, q *Query) ([][]string, error) {
+	parsed, err := sparql.Parse(q.Src())
+	if err != nil {
+		return nil, fmt.Errorf("parse %q: %w", q.Src(), err)
+	}
+	return eng.Evaluate(parsed)
+}
+
+// snapshotEvaluate round-trips the PARJ store through Save/LoadSnapshot and
+// evaluates parsed on the copy.
+func snapshotEvaluate(benchDS *bench.Dataset, parsed *sparql.Query) ([][]string, error) {
+	st, _ := benchDS.Store()
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		return nil, fmt.Errorf("save snapshot: %w", err)
+	}
+	st2, err := store.LoadSnapshot(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("load snapshot: %w", err)
+	}
+	plan, err := optimizer.Optimize(parsed, st2, stats.New(st2))
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Execute(st2, plan, core.Options{Threads: 2, Strategy: core.AdaptiveBinary})
+	if err != nil {
+		return nil, err
+	}
+	return res.StringRows(st2), nil
+}

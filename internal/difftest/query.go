@@ -1,0 +1,354 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"parj/internal/rdfs"
+	"parj/internal/sparql"
+)
+
+// Query is the structural form the generator produces and the shrinker
+// reduces; Src renders it to the SPARQL text fed to every engine (so the
+// parser sits inside the differential loop too).
+type Query struct {
+	Patterns []sparql.TriplePattern
+	Distinct bool
+	HasLimit bool
+	Limit    int
+	// Star selects SELECT *; otherwise Select lists the projected vars.
+	Star   bool
+	Select []string
+	// Entail marks the query for the entailment matrix (PARJ backward
+	// chaining vs oracle over forward-chained triples).
+	Entail bool
+}
+
+// Src renders the query as SPARQL text.
+func (q *Query) Src() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	if q.Star {
+		sb.WriteString("*")
+	} else {
+		for i, v := range q.Select {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString("?" + v)
+		}
+	}
+	sb.WriteString(" WHERE { ")
+	for i, tp := range q.Patterns {
+		if i > 0 {
+			sb.WriteString(" . ")
+		}
+		sb.WriteString(tp.String())
+	}
+	sb.WriteString(" }")
+	if q.HasLimit {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}
+
+// Clone returns a deep copy the shrinker can mutate.
+func (q *Query) Clone() *Query {
+	c := *q
+	c.Patterns = append([]sparql.TriplePattern(nil), q.Patterns...)
+	c.Select = append([]string(nil), q.Select...)
+	return &c
+}
+
+// vars returns the distinct variables of the BGP in first-appearance order.
+func (q *Query) vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, tp := range q.Patterns {
+		for _, t := range []sparql.Term{tp.S, tp.P, tp.O} {
+			if t.IsVar() && !seen[t.Var] {
+				seen[t.Var] = true
+				out = append(out, t.Var)
+			}
+		}
+	}
+	return out
+}
+
+// FixProjection restores the SELECT clause invariant (projected vars must
+// occur in the BGP) after the shrinker dropped patterns. Queries whose
+// projection would turn empty fall back to SELECT *.
+func (q *Query) FixProjection() {
+	if q.Star {
+		return
+	}
+	inBGP := map[string]bool{}
+	for _, v := range q.vars() {
+		inBGP[v] = true
+	}
+	var keep []string
+	for _, v := range q.Select {
+		if inBGP[v] {
+			keep = append(keep, v)
+		}
+	}
+	if len(keep) == 0 {
+		q.Star = true
+		q.Select = nil
+		return
+	}
+	q.Select = keep
+}
+
+// qgen carries the generator state for one query. Variables in predicate
+// position come from a pool disjoint from subject/object variables: the
+// engines bind predicate variables to predicate-dictionary IDs, so a
+// variable shared between a predicate and a resource position would compare
+// IDs across dictionaries — outside every engine's supported fragment.
+type qgen struct {
+	rng *rand.Rand
+	ds  *Dataset
+}
+
+// resTerm draws an object variable or constant. varP is the probability of
+// a variable; reuse is the pool of resource vars usable for joins.
+func (g *qgen) resTerm(varP float64, fresh func() string, reuse []string) sparql.Term {
+	return g.term(varP, fresh, reuse, false)
+}
+
+// subjTerm is resTerm for subject position, where literals are not legal.
+func (g *qgen) subjTerm(varP float64, fresh func() string, reuse []string) sparql.Term {
+	return g.term(varP, fresh, reuse, true)
+}
+
+func (g *qgen) term(varP float64, fresh func() string, reuse []string, noLit bool) sparql.Term {
+	r := g.rng.Float64()
+	if r < varP {
+		if len(reuse) > 0 && g.rng.Float64() < 0.5 {
+			return sparql.Variable(reuse[g.rng.Intn(len(reuse))])
+		}
+		return sparql.Variable(fresh())
+	}
+	return sparql.Constant(g.resConst(noLit))
+}
+
+// resConst draws a resource — or, unless noLit, a literal — constant,
+// occasionally one that exists nowhere in the data (the unknown-term path:
+// dictionary lookups must miss cleanly).
+func (g *qgen) resConst(noLit bool) string {
+	switch {
+	case g.rng.Intn(12) == 0:
+		return "<nowhere>"
+	case !noLit && len(g.ds.Literals) > 0 && g.rng.Float64() < 0.2:
+		return g.ds.Literals[g.rng.Intn(len(g.ds.Literals))]
+	case len(g.ds.Resources) > 0:
+		return g.ds.Resources[g.rng.Intn(len(g.ds.Resources))]
+	default:
+		return "<nowhere>"
+	}
+}
+
+// predTerm draws a predicate: mostly a constant from the data, sometimes a
+// predicate variable (shared across patterns for predicate joins),
+// occasionally unknown.
+func (g *qgen) predTerm(pvars *[]string) sparql.Term {
+	r := g.rng.Float64()
+	switch {
+	case r < 0.10:
+		// Predicate variable; reuse an existing one half the time.
+		if len(*pvars) > 0 && g.rng.Float64() < 0.5 {
+			return sparql.Variable((*pvars)[g.rng.Intn(len(*pvars))])
+		}
+		v := fmt.Sprintf("q%d", len(*pvars))
+		*pvars = append(*pvars, v)
+		return sparql.Variable(v)
+	case r < 0.15:
+		return sparql.Constant("<nopred>")
+	default:
+		return sparql.Constant(g.ds.Predicates[g.rng.Intn(len(g.ds.Predicates))])
+	}
+}
+
+// GenQuery draws one random BGP query over ds. Shapes: star (shared
+// subject), chain, cycle (chain closed back to its start), self-join (one
+// predicate throughout), and a connected random shape. Objects may be
+// literals; subjects and predicates may be constants, including constants
+// absent from the data.
+func GenQuery(rng *rand.Rand, ds *Dataset) *Query {
+	g := &qgen{rng: rng, ds: ds}
+	q := &Query{}
+	n := 1 + rng.Intn(4)
+	nv := 0
+	fresh := func() string {
+		v := fmt.Sprintf("v%d", nv)
+		nv++
+		return v
+	}
+	var pvars []string
+
+	switch shape := rng.Intn(5); shape {
+	case 0: // star: all patterns share the subject
+		s := g.subjTerm(0.85, fresh, nil)
+		for i := 0; i < n; i++ {
+			q.Patterns = append(q.Patterns, sparql.TriplePattern{
+				S: s,
+				P: g.predTerm(&pvars),
+				O: g.resTerm(0.6, fresh, nil),
+			})
+		}
+	case 1, 2: // chain / cycle: subject of pattern i+1 is object of pattern i
+		cur := sparql.Variable(fresh())
+		first := cur
+		for i := 0; i < n; i++ {
+			next := sparql.Variable(fresh())
+			if i == n-1 {
+				if shape == 2 && n > 1 {
+					next = first // close the cycle
+				} else if g.rng.Float64() < 0.3 {
+					// End the chain on a constant.
+					q.Patterns = append(q.Patterns, sparql.TriplePattern{
+						S: cur, P: g.predTerm(&pvars), O: sparql.Constant(g.resConst(false)),
+					})
+					break
+				}
+			}
+			q.Patterns = append(q.Patterns, sparql.TriplePattern{
+				S: cur, P: g.predTerm(&pvars), O: next,
+			})
+			cur = next
+		}
+	case 3: // self-join: one predicate, heavily shared variables
+		p := sparql.Constant(ds.Predicates[rng.Intn(len(ds.Predicates))])
+		vars := []string{fresh(), fresh()}
+		for i := 0; i < n; i++ {
+			s := sparql.Variable(vars[rng.Intn(len(vars))])
+			o := sparql.Variable(vars[rng.Intn(len(vars))])
+			if rng.Float64() < 0.5 {
+				v := fresh()
+				vars = append(vars, v)
+				o = sparql.Variable(v)
+			}
+			q.Patterns = append(q.Patterns, sparql.TriplePattern{S: s, P: p, O: o})
+		}
+	default: // connected random: each pattern reuses some earlier variable
+		var rvars []string
+		s := sparql.Variable(fresh())
+		rvars = append(rvars, s.Var)
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{
+			S: s, P: g.predTerm(&pvars), O: g.resTerm(0.6, fresh, nil),
+		})
+		if o := q.Patterns[0].O; o.IsVar() {
+			rvars = append(rvars, o.Var)
+		}
+		for i := 1; i < n; i++ {
+			// Anchor on an existing resource variable to stay connected.
+			anchor := sparql.Variable(rvars[rng.Intn(len(rvars))])
+			tp := sparql.TriplePattern{P: g.predTerm(&pvars)}
+			if rng.Float64() < 0.5 {
+				tp.S = anchor
+				tp.O = g.resTerm(0.6, fresh, rvars)
+			} else {
+				tp.O = anchor
+				tp.S = g.subjTerm(0.7, fresh, rvars)
+			}
+			for _, t := range []sparql.Term{tp.S, tp.O} {
+				if t.IsVar() {
+					rvars = appendUnique(rvars, t.Var)
+				}
+			}
+			q.Patterns = append(q.Patterns, tp)
+		}
+	}
+
+	g.finish(q, pvars)
+	return q
+}
+
+// GenEntailQuery draws a query for the entailment matrix. The fragment is
+// narrower on purpose: constant predicates only, and rdf:type patterns get
+// constant class objects — PARJ's backward chaining expands exactly those
+// positions, so anything wider would diff semantics no engine implements.
+func GenEntailQuery(rng *rand.Rand, ds *Dataset) *Query {
+	g := &qgen{rng: rng, ds: ds}
+	q := &Query{Entail: true}
+	// Schema predicates must not appear as plain predicates here: a
+	// variable-object rdf:type pattern is answered from asserted triples
+	// only (by design), while the forward-chained oracle would see derived
+	// ones — a fragment mismatch, not an engine bug.
+	var preds []string
+	for _, p := range ds.Predicates {
+		if p != rdfs.RDFType && p != rdfs.SubClassOf && p != rdfs.SubPropertyOf {
+			preds = append(preds, p)
+		}
+	}
+	n := 1 + rng.Intn(3)
+	nv := 0
+	fresh := func() string {
+		v := fmt.Sprintf("v%d", nv)
+		nv++
+		return v
+	}
+	s := g.subjTerm(0.9, fresh, nil)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.5 {
+			q.Patterns = append(q.Patterns, sparql.TriplePattern{
+				S: s,
+				P: sparql.Constant(sparql.RDFType),
+				O: sparql.Constant(ds.Classes[rng.Intn(len(ds.Classes))]),
+			})
+			continue
+		}
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{
+			S: s,
+			P: sparql.Constant(preds[rng.Intn(len(preds))]),
+			O: g.resTerm(0.7, fresh, nil),
+		})
+	}
+	g.finish(q, nil)
+	return q
+}
+
+// finish draws projection, DISTINCT and LIMIT. pvars is unused but keeps
+// the call sites symmetric when predicate variables were generated.
+func (g *qgen) finish(q *Query, _ []string) {
+	vars := q.vars()
+	if len(vars) == 0 || g.rng.Float64() < 0.5 {
+		q.Star = true
+	} else {
+		// Random non-empty subset, in sorted order for readability.
+		for _, v := range vars {
+			if g.rng.Float64() < 0.6 {
+				q.Select = append(q.Select, v)
+			}
+		}
+		if len(q.Select) == 0 {
+			q.Select = []string{vars[g.rng.Intn(len(vars))]}
+		}
+		sort.Strings(q.Select)
+	}
+	if g.rng.Float64() < 0.3 {
+		q.Distinct = true
+	}
+	if g.rng.Float64() < 0.2 {
+		q.HasLimit = true
+		if g.rng.Intn(10) == 0 {
+			q.Limit = 0 // LIMIT 0 is valid SPARQL: zero rows
+		} else {
+			q.Limit = 1 + g.rng.Intn(15)
+		}
+	}
+}
+
+func appendUnique(xs []string, v string) []string {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(xs, v)
+}

@@ -1,0 +1,273 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"parj/internal/bench"
+	"parj/internal/rdf"
+	"parj/internal/rdfs"
+	"parj/internal/reference"
+	"parj/internal/sparql"
+)
+
+// Config controls one differential run.
+type Config struct {
+	// Seed makes the whole run reproducible: datasets, queries, and skip
+	// decisions are all derived from it.
+	Seed int64
+	// Datasets is the number of generated datasets (default 25).
+	Datasets int
+	// QueriesPerDataset is the target number of completed query pairs per
+	// dataset (default 8).
+	QueriesPerDataset int
+	// MaxTriples bounds dataset size (default 300).
+	MaxTriples int
+	// Workers overrides the worker-count axis; nil selects WorkerCounts().
+	Workers []int
+	// OracleBudget caps the naive oracle's backtracking cost per query;
+	// over-budget pairs are skipped deterministically (default 2e6).
+	OracleBudget int64
+	// MaxOracleRows skips pairs whose full result exceeds this many rows,
+	// keeping engine evaluation time bounded (default 20000).
+	MaxOracleRows int
+	// NoShrink reports failures raw instead of minimizing them (the
+	// shrinker re-evaluates engines many times; tests that only assert
+	// "no failures" never pay the cost either way).
+	NoShrink bool
+	// MaxFailures stops the run early once this many failures were
+	// collected (default 5).
+	MaxFailures int
+	// Log, when non-nil, receives per-dataset progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Datasets <= 0 {
+		c.Datasets = 25
+	}
+	if c.QueriesPerDataset <= 0 {
+		c.QueriesPerDataset = 8
+	}
+	if c.MaxTriples <= 0 {
+		c.MaxTriples = 300
+	}
+	if c.OracleBudget <= 0 {
+		c.OracleBudget = 2_000_000
+	}
+	if c.MaxOracleRows <= 0 {
+		c.MaxOracleRows = 20_000
+	}
+	if c.MaxFailures <= 0 {
+		c.MaxFailures = 5
+	}
+}
+
+// Failure is one detected divergence between an engine configuration and
+// the oracle (or a violated metamorphic invariant).
+type Failure struct {
+	Engine  string
+	Query   string
+	Diff    string
+	Triples []rdf.Triple
+	// Repro is a ready-to-paste Go regression test over the shrunk
+	// (triples, query) pair; empty when shrinking was disabled or the
+	// failure came from a metamorphic check.
+	Repro string
+}
+
+func (f *Failure) String() string {
+	return fmt.Sprintf("engine %s on %q (%d triples): %s", f.Engine, f.Query, len(f.Triples), f.Diff)
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Pairs is the number of completed (dataset, query) pairs — each one
+	// evaluated on the oracle and on the full engine matrix.
+	Pairs int
+	// EngineRuns is the number of engine evaluations diffed.
+	EngineRuns int
+	// Skipped counts pairs abandoned by the oracle budget or row cap.
+	Skipped  int
+	Datasets int
+	Failures []Failure
+}
+
+// Run executes the differential matrix and returns what it found. The same
+// Config always yields the same Report.
+func Run(cfg Config) *Report {
+	cfg.fill()
+	rep := &Report{}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	for di := 0; di < cfg.Datasets && len(rep.Failures) < cfg.MaxFailures; di++ {
+		dsSeed := cfg.Seed + int64(di+1)*1_000_003
+		dsRng := rand.New(rand.NewSource(dsSeed))
+		ds := GenDataset(dsRng, DatasetConfig{
+			MaxTriples: cfg.MaxTriples,
+			// Every fifth dataset goes wide so dictionary IDs straddle
+			// posindex anchor boundaries.
+			Wide: di%5 == 4,
+		})
+		rep.Datasets++
+		benchDS := bench.NewDataset(ds.Triples, 2)
+		runDataset(cfg, rep, ds, benchDS, dsSeed, false)
+		if ds.HasOntology() {
+			runDataset(cfg, rep, ds, benchDS, dsSeed, true)
+		}
+		logf("dataset %d/%d (seed %d, %d triples, ontology %v): %d pairs, %d engine runs, %d failures",
+			di+1, cfg.Datasets, dsSeed, len(ds.Triples), ds.HasOntology(), rep.Pairs, rep.EngineRuns, len(rep.Failures))
+	}
+	return rep
+}
+
+// runDataset completes the per-dataset query quota for one side of the
+// matrix (plain or entailment).
+func runDataset(cfg Config, rep *Report, ds *Dataset, benchDS *bench.Dataset, dsSeed int64, entail bool) {
+	quota := cfg.QueriesPerDataset
+	var configs []EngineConfig
+	var oracleTriples []rdf.Triple
+	if entail {
+		quota = quota/3 + 1
+		configs = EntailConfigs(cfg.Workers)
+		oracleTriples = rdfs.ForwardChain(ds.Triples, "", "", "")
+	} else {
+		configs = Configs(cfg.Workers)
+		oracleTriples = ds.Triples
+	}
+	engines := make([]bench.RowEngine, len(configs))
+	for i, c := range configs {
+		engines[i] = c.Make(benchDS)
+	}
+
+	done := 0
+	for qi := 0; done < quota && qi < quota*4 && len(rep.Failures) < cfg.MaxFailures; qi++ {
+		qSeed := dsSeed ^ (int64(qi+1) * 7919)
+		if entail {
+			qSeed ^= 1 << 40
+		}
+		qRng := rand.New(rand.NewSource(qSeed))
+		var q *Query
+		if entail {
+			q = GenEntailQuery(qRng, ds)
+		} else {
+			q = GenQuery(qRng, ds)
+		}
+		parsed, err := sparql.Parse(q.Src())
+		if err != nil {
+			// The generator stays inside the supported fragment by
+			// construction, so a parse error is itself a finding.
+			rep.Failures = append(rep.Failures, Failure{
+				Engine: "sparql-parse", Query: q.Src(), Diff: err.Error(), Triples: ds.Triples,
+			})
+			continue
+		}
+		want, ok := reference.EvaluateBudget(parsed, oracleTriples, cfg.OracleBudget)
+		if !ok || len(want) > cfg.MaxOracleRows {
+			rep.Skipped++
+			continue
+		}
+		done++
+		rep.Pairs++
+
+		for i, eng := range engines {
+			rep.EngineRuns++
+			got, err := eng.Evaluate(parsed)
+			var diff string
+			if err != nil {
+				diff = "error: " + err.Error()
+			} else {
+				diff = Compare(parsed, want, got)
+			}
+			if diff == "" {
+				continue
+			}
+			f := Failure{Engine: configs[i].Name, Query: q.Src(), Diff: diff, Triples: ds.Triples}
+			if !cfg.NoShrink {
+				st, sq := Shrink(ds.Triples, q, configs[i], cfg.OracleBudget, cfg.MaxOracleRows)
+				f.Repro = FormatRepro(st, sq, configs[i].Name)
+			}
+			rep.Failures = append(rep.Failures, f)
+			if len(rep.Failures) >= cfg.MaxFailures {
+				return
+			}
+		}
+
+		if !entail {
+			rep.Failures = append(rep.Failures, metamorphicChecks(qRng, benchDS, ds, q, parsed, done == 1)...)
+			if len(rep.Failures) >= cfg.MaxFailures {
+				return
+			}
+		}
+	}
+}
+
+// Compare diffs an engine's result against the oracle's under the query's
+// semantics. The oracle ignores positive LIMITs (it computes the complete
+// result), so limited queries are checked by containment: the engine must
+// return exactly min(LIMIT, |full result|) rows, each of which occurs in
+// the full result with sufficient multiplicity. Everything else is an exact
+// multiset comparison. It returns "" on agreement.
+func Compare(q *sparql.Query, want, got [][]string) string {
+	if q.HasLimit && q.Limit > 0 {
+		exp := q.Limit
+		if len(want) < exp {
+			exp = len(want)
+		}
+		if len(got) != exp {
+			return fmt.Sprintf("LIMIT %d over %d total rows: want %d rows, got %d",
+				q.Limit, len(want), exp, len(got))
+		}
+		wm := reference.Multiset(want)
+		for _, r := range got {
+			k := strings.Join(r, "\x00")
+			wm[k]--
+			if wm[k] < 0 {
+				return fmt.Sprintf("LIMIT %d: row [%s] not in the full result (or returned too often)",
+					q.Limit, strings.Join(r, " | "))
+			}
+		}
+		return ""
+	}
+	return reference.DiffMultisets(want, got)
+}
+
+// CheckRepro replays a shrunk repro: it evaluates query src over triples on
+// the named engine configuration and on the oracle, failing the test on any
+// divergence. Regression tests recorded from shrunk failures call this.
+func CheckRepro(t testingTB, triples []rdf.Triple, src, engine string) {
+	t.Helper()
+	ec, err := FindConfig(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	oracleTriples := triples
+	if ec.Entail {
+		oracleTriples = rdfs.ForwardChain(triples, "", "", "")
+	}
+	want := reference.Evaluate(parsed, oracleTriples)
+	got, err := ec.Make(bench.NewDataset(triples, 2)).Evaluate(parsed)
+	if err != nil {
+		t.Fatalf("engine %s on %q: %v", engine, src, err)
+	}
+	if diff := Compare(parsed, want, got); diff != "" {
+		t.Errorf("engine %s on %q: %s", engine, src, diff)
+	}
+}
+
+// testingTB is the subset of testing.TB CheckRepro needs; declaring it here
+// keeps the testing package out of the non-test build.
+type testingTB interface {
+	Helper()
+	Fatal(args ...any)
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+}

@@ -5,6 +5,7 @@
 package reference
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -18,32 +19,57 @@ import (
 // LIMIT is ignored (the oracle's callers compare complete result
 // multisets), but LIMIT 0 yields no rows, as in SPARQL.
 func Evaluate(q *sparql.Query, triples []rdf.Triple) [][]string {
+	rows, _ := EvaluateBudget(q, triples, 0)
+	return rows
+}
+
+// EvaluateBudget is Evaluate with a cost cap: every triple examined during
+// backtracking counts one unit, and the evaluation aborts once the count
+// exceeds budget (budget <= 0 means unlimited). It reports the rows and
+// whether the evaluation completed within budget; on abort the partial rows
+// must not be used. Differential harnesses use the cap to skip randomly
+// generated (dataset, query) pairs whose naive cost explodes, keeping skip
+// decisions deterministic.
+func EvaluateBudget(q *sparql.Query, triples []rdf.Triple, budget int64) ([][]string, bool) {
 	if q.HasLimit && q.Limit == 0 {
-		return nil
+		return nil, true
 	}
 	proj := q.Projection()
 	binding := map[string]string{}
 	var rows [][]string
-	match(q.Patterns, triples, binding, func() {
+	ok := match(q.Patterns, triples, binding, &budget, func() {
 		row := make([]string, len(proj))
 		for i, v := range proj {
 			row[i] = binding[v]
 		}
 		rows = append(rows, row)
 	})
+	if !ok {
+		return nil, false
+	}
 	if q.Distinct {
 		rows = Dedup(rows)
 	}
-	return rows
+	return rows, true
 }
 
-func match(patterns []sparql.TriplePattern, triples []rdf.Triple, binding map[string]string, emit func()) {
+// match backtracks over the patterns; budget points at the remaining cost
+// allowance when positive, no limit when zero or negative at entry. It
+// returns false when the budget ran out.
+func match(patterns []sparql.TriplePattern, triples []rdf.Triple, binding map[string]string, budget *int64, emit func()) bool {
 	if len(patterns) == 0 {
 		emit()
-		return
+		return true
 	}
 	tp := patterns[0]
+	limited := *budget > 0
 	for _, tr := range triples {
+		if limited {
+			*budget--
+			if *budget <= 0 {
+				return false
+			}
+		}
 		var bound []string
 		ok := true
 		for _, pair := range [3]struct {
@@ -67,19 +93,23 @@ func match(patterns []sparql.TriplePattern, triples []rdf.Triple, binding map[st
 			binding[pair.term.Var] = pair.value
 			bound = append(bound, pair.term.Var)
 		}
-		if ok {
-			match(patterns[1:], triples, binding, emit)
+		if ok && !match(patterns[1:], triples, binding, budget, emit) {
+			return false
 		}
 		for _, v := range bound {
 			delete(binding, v)
 		}
 	}
+	return true
 }
 
-// Dedup removes duplicate rows, preserving first occurrence order.
+// Dedup removes duplicate rows, preserving first occurrence order. It
+// leaves rows untouched: compacting into the input's backing array would
+// silently corrupt the caller's slice, which the difftest metamorphic
+// checks compare against afterwards.
 func Dedup(rows [][]string) [][]string {
 	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
+	out := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		key := strings.Join(r, "\x00")
 		if !seen[key] {
@@ -88,6 +118,59 @@ func Dedup(rows [][]string) [][]string {
 		}
 	}
 	return out
+}
+
+// Multiset counts the rows of a result by their joined key, so two results
+// can be compared regardless of row order.
+func Multiset(rows [][]string) map[string]int {
+	m := make(map[string]int, len(rows))
+	for _, r := range rows {
+		m[strings.Join(r, "\x00")]++
+	}
+	return m
+}
+
+// DiffMultisets compares two results as multisets of rows and returns a
+// human-readable description of the difference, or "" when they are equal.
+// want/got naming follows the differential-testing convention: want is the
+// oracle's answer.
+func DiffMultisets(want, got [][]string) string {
+	wm, gm := Multiset(want), Multiset(got)
+	var missing, extra []string
+	for k, n := range wm {
+		if d := n - gm[k]; d > 0 {
+			missing = append(missing, fmt.Sprintf("%dx [%s]", d, strings.ReplaceAll(k, "\x00", " | ")))
+		}
+	}
+	for k, n := range gm {
+		if d := n - wm[k]; d > 0 {
+			extra = append(extra, fmt.Sprintf("%dx [%s]", d, strings.ReplaceAll(k, "\x00", " | ")))
+		}
+	}
+	if len(missing) == 0 && len(extra) == 0 {
+		return ""
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	const maxShow = 5
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d rows expected, %d produced", len(want), len(got))
+	describe := func(label string, rows []string) {
+		if len(rows) == 0 {
+			return
+		}
+		shown := rows
+		if len(shown) > maxShow {
+			shown = shown[:maxShow]
+		}
+		fmt.Fprintf(&sb, "; %s %d distinct: %s", label, len(rows), strings.Join(shown, ", "))
+		if len(rows) > maxShow {
+			sb.WriteString(", ...")
+		}
+	}
+	describe("missing", missing)
+	describe("unexpected", extra)
+	return sb.String()
 }
 
 // Canon sorts rows lexicographically so result multisets can be compared

@@ -1,0 +1,102 @@
+package search
+
+import "testing"
+
+// TestProbeEdgeCases drives every probe primitive through the boundary
+// shapes that the randomized equivalence tests only hit by chance: empty
+// key arrays, keys below/above the whole range, cursors already past the
+// key in both directions, and single-element windows. Each function must
+// report membership exactly and leave the cursor on a valid position.
+func TestProbeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		arr   []uint32
+		value uint32
+		cur   int
+	}{
+		{"empty", nil, 5, 0},
+		{"empty negative cursor", nil, 5, -3},
+		{"below range", []uint32{10, 20, 30}, 1, 0},
+		{"below range cursor high", []uint32{10, 20, 30}, 1, 2},
+		{"above range", []uint32{10, 20, 30}, 99, 0},
+		{"above range cursor high", []uint32{10, 20, 30}, 99, 2},
+		{"cursor past key forward", []uint32{10, 20, 30, 40}, 20, 3},
+		{"cursor past key backward", []uint32{10, 20, 30, 40}, 30, 0},
+		{"cursor out of bounds high", []uint32{10, 20, 30}, 20, 17},
+		{"cursor out of bounds negative", []uint32{10, 20, 30}, 20, -4},
+		{"single element hit", []uint32{42}, 42, 0},
+		{"single element below", []uint32{42}, 7, 0},
+		{"single element above", []uint32{42}, 77, 0},
+		{"first element", []uint32{10, 20, 30}, 10, 2},
+		{"last element", []uint32{10, 20, 30}, 30, 0},
+		{"between elements", []uint32{10, 20, 40, 50}, 30, 0},
+		{"duplicate run", []uint32{10, 20, 20, 20, 30}, 20, 4},
+	}
+
+	probes := []struct {
+		name string
+		fn   func(arr []uint32, value uint32, cur *int) (int, bool)
+	}{
+		{"Sequential", Sequential},
+		{"Binary", Binary},
+		{"BoundedBinary", BoundedBinary},
+		{"Adaptive", func(arr []uint32, value uint32, cur *int) (int, bool) {
+			return Adaptive(arr, value, cur, ValueThreshold(arr, 4), nil)
+		}},
+	}
+
+	for _, tc := range cases {
+		for _, p := range probes {
+			t.Run(p.name+"/"+tc.name, func(t *testing.T) {
+				member := false
+				for _, v := range tc.arr {
+					if v == tc.value {
+						member = true
+					}
+				}
+				cur := tc.cur
+				pos, ok := p.fn(tc.arr, tc.value, &cur)
+				if ok != member {
+					t.Errorf("%s(%v, %d, cur=%d) found=%v, want %v",
+						p.name, tc.arr, tc.value, tc.cur, ok, member)
+				}
+				if len(tc.arr) == 0 {
+					return // pos/cursor carry no meaning on empty input
+				}
+				if pos < 0 || pos >= len(tc.arr) {
+					t.Fatalf("position %d out of range [0,%d)", pos, len(tc.arr))
+				}
+				if cur < 0 || cur >= len(tc.arr) {
+					t.Fatalf("cursor left at %d, out of range [0,%d)", cur, len(tc.arr))
+				}
+				if ok && tc.arr[pos] != tc.value {
+					t.Errorf("found=true but arr[%d]=%d != %d", pos, tc.arr[pos], tc.value)
+				}
+			})
+		}
+	}
+}
+
+// TestProbeCursorResume checks the property the cursor exists for: after a
+// probe, a follow-up Sequential probe for the same value must succeed
+// without moving (the cursor points at, or adjacent to, the value's run).
+func TestProbeCursorResume(t *testing.T) {
+	arr := []uint32{5, 10, 15, 20, 25, 30, 35}
+	for _, p := range []struct {
+		name string
+		fn   func(arr []uint32, value uint32, cur *int) (int, bool)
+	}{
+		{"Sequential", Sequential},
+		{"Binary", Binary},
+		{"BoundedBinary", BoundedBinary},
+	} {
+		cur := 0
+		if _, ok := p.fn(arr, 25, &cur); !ok {
+			t.Fatalf("%s lost 25", p.name)
+		}
+		pos, ok := Sequential(arr, 25, &cur)
+		if !ok || arr[pos] != 25 {
+			t.Errorf("%s left cursor at %d; Sequential resume found=%v pos=%d", p.name, cur, ok, pos)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package parj
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestQueryStreamEarlyTermination cancels a multi-worker stream from the
+// sink callback mid-stream and checks that (a) delivery stops promptly,
+// (b) the reported count matches the rows actually delivered, and (c) no
+// worker goroutines are left behind — ExecuteStream must drain its
+// pipeline even when the consumer walks away.
+func TestQueryStreamEarlyTermination(t *testing.T) {
+	b := NewBuilder(LoadOptions{})
+	for i := 0; i < 2000; i++ {
+		b.Add(fmt.Sprintf("<s%d>", i), "<p>", fmt.Sprintf("<o%d>", i%50))
+	}
+	db := b.Build()
+
+	before := runtime.NumGoroutine()
+
+	for round := 0; round < 5; round++ {
+		delivered := 0
+		n, err := db.QueryStream(`SELECT ?s ?o WHERE { ?s <p> ?o }`,
+			QueryOptions{Threads: 4},
+			func(row []string) bool {
+				delivered++
+				return delivered < 10 // cancel mid-stream
+			})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// The row on which the callback cancels is delivered but, per the
+		// ExecuteStream contract, not counted.
+		if int(n) != delivered-1 {
+			t.Errorf("round %d: count %d, want %d (rows before the cancel)", round, n, delivered-1)
+		}
+		if delivered < 10 {
+			t.Errorf("round %d: stream ended after %d rows, before the callback cancelled", round, delivered)
+		}
+		// A cancel must not deliver unboundedly past the false return; the
+		// sink runs on one goroutine, so not even one extra row may arrive.
+		if delivered > 10 {
+			t.Errorf("round %d: %d rows delivered after cancellation", round, delivered-10)
+		}
+	}
+
+	// Workers park on channel sends when the consumer stops; give the
+	// runtime a moment to unwind them, then compare goroutine counts.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if after := runtime.NumGoroutine(); after <= before {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after cancelled streams: %d before, %d after\n%s",
+				before, after, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
