@@ -1,0 +1,215 @@
+// Command parj-server exposes a loaded store over HTTP — the hardened
+// serving path of the robustness layer. Every request runs under a deadline,
+// a row/memory budget, and the store-wide admission limiter, so a hostile
+// query (the 1.6-billion-row cross products of the paper's §5.2 discussion)
+// degrades into a typed HTTP error instead of taking the process down.
+//
+// Usage:
+//
+//	parj-server -data graph.nt -addr :8080 -timeout 30s -max-concurrent 8
+//
+// Endpoints:
+//
+//	GET  /query?query=SELECT...   execute a SPARQL query, JSON response
+//	POST /query                   query in the body (or form field "query")
+//	GET  /healthz                 liveness + load signal
+//
+// Status mapping: 400 unparsable query, 413 budget exceeded, 503 overloaded
+// (with Retry-After), 504 deadline exceeded or client gone, 500 contained
+// engine fault. SIGINT/SIGTERM drains in-flight queries before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parj"
+)
+
+func main() {
+	var (
+		dataPath      = flag.String("data", "", "N-Triples or .snapshot file to load (required)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		threads       = flag.Int("threads", 0, "worker threads per query (0 = GOMAXPROCS)")
+		noIndex       = flag.Bool("noindex", false, "skip building ID-to-Position indexes")
+		timeout       = flag.Duration("timeout", 30*time.Second, "per-query wall-clock limit (0 = none)")
+		maxConcurrent = flag.Int("max-concurrent", 8, "queries executing at once; further ones queue then shed (0 = unlimited)")
+		admissionWait = flag.Duration("admission-wait", 2*time.Second, "how long an over-admission query queues before 503")
+		maxRows       = flag.Int64("max-rows", 10_000_000, "per-query produced-row budget (0 = unlimited)")
+		memBudget     = flag.Int64("memory-budget", 1<<30, "per-query materialized-result byte budget (0 = unlimited)")
+		drainTimeout  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain limit")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "parj-server: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	db, err := parj.LoadFile(*dataPath, parj.LoadOptions{
+		PosIndex: !*noIndex,
+		DB: parj.DBOptions{
+			MaxConcurrentQueries: *maxConcurrent,
+			AdmissionWait:        *admissionWait,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parj-server: load:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d triples in %v; serving on %s\n",
+		db.NumTriples(), time.Since(start).Round(time.Millisecond), *addr)
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: newHandler(db, parj.QueryOptions{
+			Threads:       *threads,
+			Timeout:       *timeout,
+			MaxResultRows: *maxRows,
+			MemoryBudget:  *memBudget,
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "parj-server: draining in-flight queries...")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Drain limit hit: sever the remaining connections; their
+			// request contexts cancel the still-running queries.
+			srv.Close()
+		}
+	}()
+
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "parj-server:", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// queryResponse is the JSON shape of a successful /query call.
+type queryResponse struct {
+	Vars  []string   `json:"vars"`
+	Rows  [][]string `json:"rows,omitempty"`
+	Count int64      `json:"count"`
+	Took  string     `json:"took"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// newHandler wires the serving mux for db; split from main so tests can
+// drive it through httptest without a process or sockets.
+func newHandler(db *parj.Store, base parj.QueryOptions) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		src, err := querySource(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts := base
+		// The request context carries the client disconnect; Timeout layers
+		// the server's deadline on top.
+		opts.Context = r.Context()
+		opts.Silent = r.URL.Query().Get("silent") == "1"
+
+		start := time.Now()
+		res, err := db.Query(src, opts)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(queryResponse{
+			Vars:  res.Vars,
+			Rows:  res.Rows,
+			Count: res.Count,
+			Took:  time.Since(start).Round(time.Microsecond).String(),
+		})
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":   "ok",
+			"triples":  db.NumTriples(),
+			"inflight": db.InFlightQueries(),
+		})
+	})
+
+	return mux
+}
+
+// querySource extracts the SPARQL text from a query parameter, a form
+// field, or the raw request body, in that order. Bodies are capped so a
+// parser bomb is a 400, not an allocation.
+func querySource(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("query"); q != "" {
+		return q, nil
+	}
+	if r.Method == http.MethodPost {
+		const maxQueryBytes = 1 << 20
+		r.Body = http.MaxBytesReader(nil, r.Body, maxQueryBytes)
+		if err := r.ParseForm(); err == nil {
+			if q := r.PostForm.Get("query"); q != "" {
+				return q, nil
+			}
+		}
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			return "", fmt.Errorf("reading query body: %w", err)
+		}
+		if q := strings.TrimSpace(string(b)); q != "" {
+			return q, nil
+		}
+	}
+	return "", errors.New("missing query: pass ?query=, a form field, or a POST body")
+}
+
+// statusFor maps the typed governance taxonomy onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, parj.ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, parj.ErrDeadlineExceeded), errors.Is(err, parj.ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, parj.ErrBudgetExceeded):
+		return http.StatusRequestEntityTooLarge
+	default:
+		var pe *parj.PanicError
+		if errors.As(err, &pe) {
+			return http.StatusInternalServerError
+		}
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

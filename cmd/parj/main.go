@@ -14,9 +14,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -35,6 +38,7 @@ func main() {
 		noIndex   = flag.Bool("noindex", false, "skip building ID-to-Position indexes")
 		calibrate = flag.Bool("calibrate", false, "run timing calibration for adaptive thresholds")
 		maxRows   = flag.Int("maxrows", 20, "maximum rows to print (0 = all)")
+		timeout   = flag.Duration("timeout", 0, "per-query wall-clock limit (e.g. 500ms, 10s; 0 = none)")
 		saveSnap  = flag.String("savesnapshot", "", "write a binary snapshot after loading (reload it by passing the .snapshot file to -data)")
 		showStats = flag.Bool("stats", false, "print per-predicate table statistics after loading")
 	)
@@ -82,7 +86,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *saveSnap)
 	}
 
-	opts := parj.QueryOptions{Threads: *threads, Strategy: strat, Silent: *silent}
+	opts := parj.QueryOptions{Threads: *threads, Strategy: strat, Silent: *silent, Timeout: *timeout}
 
 	runOne := func(src string) {
 		if *explain {
@@ -94,10 +98,22 @@ func main() {
 			fmt.Print(plan)
 			return
 		}
+		// Ctrl-C cancels the in-flight query (typed ErrCanceled, partial
+		// stats printed below) instead of killing the process; a second
+		// Ctrl-C while idle terminates as usual.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		qOpts := opts
+		qOpts.Context = ctx
 		qStart := time.Now()
-		res, err := db.Query(src, opts)
+		res, err := db.Query(src, qOpts)
+		stop()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "parj:", err)
+			if res != nil && (errors.Is(err, parj.ErrCanceled) || errors.Is(err, parj.ErrDeadlineExceeded)) {
+				fmt.Fprintf(os.Stderr, "parj: partial progress before stop: %d rows produced in %v (probes: %d sequential, %d binary, %d index)\n",
+					res.Count, time.Since(qStart).Round(time.Microsecond),
+					res.ProbeStats.Sequential, res.ProbeStats.Binary, res.ProbeStats.Index)
+			}
 			return
 		}
 		elapsed := time.Since(qStart)

@@ -1,0 +1,138 @@
+package parj
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"parj/internal/core"
+	"parj/internal/testutil"
+)
+
+// chainStore builds a ring of <knows> edges, so the two-pattern chain query
+// probes a bound key on every binding — the code path the probe fault hook
+// intercepts.
+func chainStore(n int) *Store {
+	b := NewBuilder(LoadOptions{PosIndex: true})
+	for i := 0; i < n; i++ {
+		b.Add(fmt.Sprintf("<s%d>", i), "<knows>", fmt.Sprintf("<s%d>", (i+1)%n))
+	}
+	return b.Build()
+}
+
+const chainQuery = `SELECT ?x ?z WHERE { ?x <knows> ?y . ?y <knows> ?z }`
+
+var allStrategies = []struct {
+	name string
+	s    Strategy
+}{
+	{"AdaptiveBinary", AdaptiveBinary},
+	{"BinaryOnly", BinaryOnly},
+	{"IndexOnly", IndexOnly},
+	{"AdaptiveIndex", AdaptiveIndex},
+}
+
+// TestWorkerPanicContained is the fault-containment acceptance criterion:
+// a panic injected into the probe path of one worker surfaces as a
+// *PanicError from Query on every strategy — the process never crashes and
+// no goroutine leaks.
+func TestWorkerPanicContained(t *testing.T) {
+	db := chainStore(2000)
+	defer testutil.LeakCheck(t)()
+
+	for _, tc := range allStrategies {
+		t.Run(tc.name, func(t *testing.T) {
+			// Panic exactly once, partway through the probe stream, so the
+			// other workers are mid-flight when the fault lands.
+			var probes atomic.Int64
+			restore := core.SetProbeFaultHook(func() {
+				if probes.Add(1) == 100 {
+					panic("injected probe fault")
+				}
+			})
+			defer restore()
+
+			res, err := db.Query(chainQuery, QueryOptions{Silent: true, Threads: 4, Strategy: tc.s})
+			if err == nil {
+				t.Fatalf("Query returned nil error (count %d), want contained panic", res.Count)
+			}
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *PanicError", err)
+			}
+			if pe.Value != "injected probe fault" {
+				t.Errorf("panic value = %v, want the injected fault", pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Errorf("panic stack not captured")
+			}
+		})
+	}
+}
+
+// TestWorkerPanicContainedStream: the same containment on the streaming
+// path — QueryStream returns the error and the collector pipeline drains.
+func TestWorkerPanicContainedStream(t *testing.T) {
+	db := chainStore(2000)
+	defer testutil.LeakCheck(t)()
+
+	for _, tc := range allStrategies {
+		t.Run(tc.name, func(t *testing.T) {
+			var probes atomic.Int64
+			restore := core.SetProbeFaultHook(func() {
+				if probes.Add(1) == 100 {
+					panic("injected probe fault")
+				}
+			})
+			defer restore()
+
+			_, err := db.QueryStream(chainQuery, QueryOptions{Threads: 4, Strategy: tc.s},
+				func(row []string) bool { return true })
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("stream err = %v, want *PanicError", err)
+			}
+		})
+	}
+}
+
+// TestAllWorkersPanic: even when every worker panics at its very first
+// probe, the query returns exactly one contained error.
+func TestAllWorkersPanic(t *testing.T) {
+	db := chainStore(2000)
+	defer testutil.LeakCheck(t)()
+
+	restore := core.SetProbeFaultHook(func() { panic("total fault") })
+	defer restore()
+
+	_, err := db.Query(chainQuery, QueryOptions{Silent: true, Threads: 4})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "total fault" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+}
+
+// TestPanicDoesNotPoisonStore: after a contained panic the same store keeps
+// answering queries correctly — containment must not corrupt shared state.
+func TestPanicDoesNotPoisonStore(t *testing.T) {
+	db := chainStore(500)
+	defer testutil.LeakCheck(t)()
+
+	restore := core.SetProbeFaultHook(func() { panic("one-shot fault") })
+	if _, err := db.Query(chainQuery, QueryOptions{Silent: true, Threads: 4}); err == nil {
+		t.Fatal("faulted query unexpectedly succeeded")
+	}
+	restore()
+
+	res, err := db.Query(chainQuery, QueryOptions{Silent: true, Threads: 4})
+	if err != nil {
+		t.Fatalf("query after contained panic failed: %v", err)
+	}
+	if res.Count != 500 {
+		t.Fatalf("count after contained panic = %d, want 500", res.Count)
+	}
+}

@@ -1,0 +1,338 @@
+package parj
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"parj/internal/testutil"
+)
+
+// crossStore builds the worst-case governance workload: two unrelated
+// predicates of n triples each, so the cross-product query below produces
+// n² bindings. With n = 4000 that is 16 million rows — long enough that a
+// mid-flight cancel always lands while workers are in their inner loops,
+// even under the race detector.
+func crossStore(n int) *Store {
+	b := NewBuilder(LoadOptions{})
+	for i := 0; i < n; i++ {
+		b.Add(fmt.Sprintf("<l%d>", i), "<p>", fmt.Sprintf("<r%d>", i))
+		b.Add(fmt.Sprintf("<x%d>", i), "<q>", fmt.Sprintf("<y%d>", i))
+	}
+	return b.Build()
+}
+
+const crossQuery = `SELECT ?a ?b ?c ?d WHERE { ?a <p> ?b . ?c <q> ?d }`
+
+// TestQueryCancellation is the acceptance criterion for the context
+// plumbing: canceling the query's context mid-flight returns ErrCanceled
+// within 100ms of the cancel, with partial progress attached and no
+// goroutine left behind.
+func TestQueryCancellation(t *testing.T) {
+	db := crossStore(4000)
+	defer testutil.LeakCheck(t)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var canceledAt time.Time
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		canceledAt = time.Now()
+		cancel()
+	}()
+
+	res, err := db.Query(crossQuery, QueryOptions{Silent: true, Threads: 4, Context: ctx})
+	reacted := time.Since(canceledAt)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v does not match context.Canceled", err)
+	}
+	if reacted > 100*time.Millisecond {
+		t.Errorf("query returned %v after cancel, want <100ms", reacted)
+	}
+	if res == nil {
+		t.Errorf("canceled query returned nil *Results, want partial progress")
+	}
+}
+
+// TestQueryDeadline checks QueryOptions.Timeout: the query fails with
+// ErrDeadlineExceeded, and returns within 100ms of the deadline firing.
+func TestQueryDeadline(t *testing.T) {
+	db := crossStore(4000)
+	defer testutil.LeakCheck(t)()
+
+	const timeout = 20 * time.Millisecond
+	start := time.Now()
+	res, err := db.Query(crossQuery, QueryOptions{Silent: true, Threads: 4, Timeout: timeout})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v does not match context.DeadlineExceeded", err)
+	}
+	if elapsed > timeout+100*time.Millisecond {
+		t.Errorf("query returned after %v, want < timeout+100ms", elapsed)
+	}
+	if res == nil {
+		t.Errorf("deadline-expired query returned nil *Results, want partial progress")
+	}
+}
+
+// TestQueryStreamDeadline checks the same contract on the streaming path:
+// the sink stops receiving rows and QueryStream reports the typed error.
+func TestQueryStreamDeadline(t *testing.T) {
+	db := crossStore(4000)
+	defer testutil.LeakCheck(t)()
+
+	_, err := db.QueryStream(crossQuery, QueryOptions{Threads: 4, Timeout: 20 * time.Millisecond},
+		func(row []string) bool { return true })
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("stream err = %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+// TestQueryPreCanceledContext: a context that is already dead must be
+// rejected before any worker starts.
+func TestQueryPreCanceledContext(t *testing.T) {
+	db := crossStore(50)
+	defer testutil.LeakCheck(t)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := db.Query(crossQuery, QueryOptions{Silent: true, Context: ctx})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("pre-canceled query took %v", elapsed)
+	}
+}
+
+// TestQueryMaxResultRows: the row budget trips on oversized results and
+// leaves appropriately-budgeted queries untouched.
+func TestQueryMaxResultRows(t *testing.T) {
+	db := crossStore(200) // 40k-row cross product
+	defer testutil.LeakCheck(t)()
+
+	_, err := db.Query(crossQuery, QueryOptions{Silent: true, Threads: 4, MaxResultRows: 1000})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+
+	// A budget the result fits in exactly must not trip: accounting is
+	// exact once all gates close.
+	res, err := db.Query(crossQuery, QueryOptions{Silent: true, Threads: 4, MaxResultRows: 200 * 200})
+	if err != nil {
+		t.Fatalf("within-budget query failed: %v", err)
+	}
+	if res.Count != 200*200 {
+		t.Fatalf("count = %d, want %d", res.Count, 200*200)
+	}
+}
+
+// TestQueryMemoryBudget: materializing queries charge bytes against the
+// budget; silent counting charges nothing for the same result.
+func TestQueryMemoryBudget(t *testing.T) {
+	db := crossStore(200)
+	defer testutil.LeakCheck(t)()
+
+	_, err := db.Query(crossQuery, QueryOptions{Threads: 4, MemoryBudget: 64 << 10})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("materializing err = %v, want ErrBudgetExceeded", err)
+	}
+
+	if _, err := db.Query(crossQuery, QueryOptions{Silent: true, Threads: 4, MemoryBudget: 64 << 10}); err != nil {
+		t.Fatalf("silent query failed under memory budget: %v", err)
+	}
+}
+
+// TestPreparedQueryGovernance: prepared executions run under the same
+// governance as Store.Query.
+func TestPreparedQueryGovernance(t *testing.T) {
+	db := crossStore(4000)
+	defer testutil.LeakCheck(t)()
+
+	p, err := db.Prepare(crossQuery, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Query(QueryOptions{Silent: true, Threads: 4, Timeout: 20 * time.Millisecond}); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("prepared err = %v, want ErrDeadlineExceeded", err)
+	}
+	if _, err := p.Query(QueryOptions{Silent: true, Threads: 4, MaxResultRows: 10}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("prepared err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestAdmissionControl exercises the store-wide limiter: with one slot
+// taken, a second query is shed immediately (AdmissionWait 0) with
+// ErrOverloaded, and admitted again once the slot frees.
+func TestAdmissionControl(t *testing.T) {
+	b := NewBuilder(LoadOptions{})
+	for i := 0; i < 500; i++ {
+		b.Add(fmt.Sprintf("<s%d>", i), "<p>", fmt.Sprintf("<o%d>", i))
+	}
+	db := b.Build()
+	db.SetDBOptions(DBOptions{MaxConcurrentQueries: 1})
+	defer testutil.LeakCheck(t)()
+
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		opened := false
+		_, err := db.QueryStream(`SELECT ?s ?o WHERE { ?s <p> ?o }`, QueryOptions{Threads: 2},
+			func(row []string) bool {
+				if !opened {
+					opened = true
+					close(started)
+					<-unblock
+				}
+				return true
+			})
+		done <- err
+	}()
+	<-started
+
+	if got := db.InFlightQueries(); got != 1 {
+		t.Errorf("InFlightQueries = %d while a query holds the slot, want 1", got)
+	}
+	if _, err := db.Query(`SELECT ?s WHERE { ?s <p> ?o }`, QueryOptions{Silent: true}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated err = %v, want ErrOverloaded", err)
+	}
+
+	close(unblock)
+	if err := <-done; err != nil {
+		t.Fatalf("blocking stream failed: %v", err)
+	}
+	if _, err := db.Query(`SELECT ?s WHERE { ?s <p> ?o }`, QueryOptions{Silent: true}); err != nil {
+		t.Fatalf("query after release failed: %v", err)
+	}
+	if got := db.InFlightQueries(); got != 0 {
+		t.Errorf("InFlightQueries = %d after drain, want 0", got)
+	}
+}
+
+// TestAdmissionQueueWait: a query arriving at a saturated store waits up to
+// AdmissionWait for a slot and succeeds when one frees in time.
+func TestAdmissionQueueWait(t *testing.T) {
+	b := NewBuilder(LoadOptions{})
+	for i := 0; i < 100; i++ {
+		b.Add(fmt.Sprintf("<s%d>", i), "<p>", fmt.Sprintf("<o%d>", i))
+	}
+	db := b.Build()
+	db.SetDBOptions(DBOptions{MaxConcurrentQueries: 1, AdmissionWait: 2 * time.Second})
+	defer testutil.LeakCheck(t)()
+
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		opened := false
+		_, err := db.QueryStream(`SELECT ?s ?o WHERE { ?s <p> ?o }`, QueryOptions{Threads: 1},
+			func(row []string) bool {
+				if !opened {
+					opened = true
+					close(started)
+					<-unblock
+				}
+				return true
+			})
+		done <- err
+	}()
+	<-started
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(unblock)
+	}()
+	// Queued behind the blocker; must be admitted when the slot frees, well
+	// inside the 2s wait.
+	if _, err := db.Query(`SELECT ?s WHERE { ?s <p> ?o }`, QueryOptions{Silent: true}); err != nil {
+		t.Fatalf("queued query failed: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocking stream failed: %v", err)
+	}
+}
+
+// TestAdmissionWaitRespectsContext: a caller whose context dies while
+// queued gets the context's typed error, not ErrOverloaded.
+func TestAdmissionWaitRespectsContext(t *testing.T) {
+	b := NewBuilder(LoadOptions{})
+	b.Add("<s>", "<p>", "<o>")
+	db := b.Build()
+	db.SetDBOptions(DBOptions{MaxConcurrentQueries: 1, AdmissionWait: 5 * time.Second})
+	defer testutil.LeakCheck(t)()
+
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		opened := false
+		_, err := db.QueryStream(`SELECT ?s WHERE { ?s <p> ?o }`, QueryOptions{Threads: 1},
+			func(row []string) bool {
+				if !opened {
+					opened = true
+					close(started)
+					<-unblock
+				}
+				return true
+			})
+		done <- err
+	}()
+	<-started
+
+	start := time.Now()
+	_, err := db.Query(`SELECT ?s WHERE { ?s <p> ?o }`,
+		QueryOptions{Silent: true, Timeout: 25 * time.Millisecond})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("queued err = %v, want ErrDeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("queued query held for %v despite 25ms deadline", elapsed)
+	}
+
+	close(unblock)
+	if err := <-done; err != nil {
+		t.Fatalf("blocking stream failed: %v", err)
+	}
+}
+
+// TestGovernedResultsMatchUngoverned: governance that never trips must be
+// invisible — same count with and without generous limits, on both the
+// materializing and streaming paths.
+func TestGovernedResultsMatchUngoverned(t *testing.T) {
+	db := crossStore(100)
+	defer testutil.LeakCheck(t)()
+
+	base, err := db.Query(crossQuery, QueryOptions{Silent: true, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	governed, err := db.Query(crossQuery, QueryOptions{
+		Silent: true, Threads: 4,
+		Timeout: time.Hour, MaxResultRows: 1 << 40, MemoryBudget: 1 << 40,
+	})
+	if err != nil {
+		t.Fatalf("governed query failed: %v", err)
+	}
+	if governed.Count != base.Count {
+		t.Fatalf("governed count %d != ungoverned %d", governed.Count, base.Count)
+	}
+
+	var streamed int64
+	n, err := db.QueryStream(crossQuery, QueryOptions{Threads: 4, Timeout: time.Hour, MaxResultRows: 1 << 40},
+		func(row []string) bool { streamed++; return true })
+	if err != nil {
+		t.Fatalf("governed stream failed: %v", err)
+	}
+	if n != base.Count || streamed != base.Count {
+		t.Fatalf("governed stream delivered %d (count %d), want %d", streamed, n, base.Count)
+	}
+}

@@ -16,12 +16,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
+	"parj/internal/governance"
 	"parj/internal/optimizer"
 	"parj/internal/search"
 	"parj/internal/store"
@@ -88,6 +91,55 @@ type Options struct {
 	// the requested thread count simulate the paper's multicore wall
 	// clock. See Result.MaxShardTime.
 	MeasureShards bool
+
+	// Context carries the query's cancellation signal and deadline. Workers
+	// observe it on an amortized schedule (every CheckInterval steps), so a
+	// canceled or expired query unwinds within a fraction of a millisecond
+	// while the Silent-mode hot path stays flat. nil means no cancellation.
+	Context context.Context
+	// MaxResultRows bounds the number of rows the engine produces across
+	// all workers, before final DISTINCT/LIMIT compaction (that is what
+	// costs time and memory); exceeding it fails the query with
+	// governance.ErrBudgetExceeded. 0 = unlimited. For limited queries note
+	// that workers truncate independently, so production can reach
+	// workers × LIMIT rows.
+	MaxResultRows int64
+	// MemoryBudget bounds the bytes of materialized result rows across all
+	// workers; exceeding it fails the query with
+	// governance.ErrBudgetExceeded. Silent, non-materializing execution
+	// charges nothing. 0 = unlimited.
+	MemoryBudget int64
+	// CheckInterval overrides governance.DefaultCheckInterval between two
+	// governance checks (0 = default). The optimizer's cardinality estimate
+	// can suggest a tighter interval for plans expected to run long; see
+	// governance.IntervalForEstimate.
+	CheckInterval int
+}
+
+// governanceConfig translates the execution options into a governor config.
+func (o *Options) governanceConfig() governance.Config {
+	return governance.Config{
+		Context:       o.Context,
+		MaxResultRows: o.MaxResultRows,
+		MemoryBudget:  o.MemoryBudget,
+		CheckInterval: o.CheckInterval,
+	}
+}
+
+// probeFaultHook, when non-nil, runs before every key probe inside the
+// worker goroutines. Fault-injection tests use it to panic mid-query and
+// assert that the panic is contained to a query error; it is never set in
+// production. Workers capture it once at construction so the per-probe
+// check reads a worker-local field that sits with the other hot state.
+var probeFaultHook func()
+
+// SetProbeFaultHook installs fn as the probe fault hook and returns a
+// function restoring the previous hook. Only tests may call this, and never
+// concurrently with query execution.
+func SetProbeFaultHook(fn func()) (restore func()) {
+	old := probeFaultHook
+	probeFaultHook = fn
+	return func() { probeFaultHook = old }
 }
 
 // Result is the outcome of an execution.
@@ -172,6 +224,10 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 	for _, slot := range plan.Project {
 		res.Vars = append(res.Vars, plan.SlotVars[slot])
 	}
+	if opts.Context != nil && opts.Context.Err() != nil {
+		// Dead on arrival: don't start workers for an expired context.
+		return res, governance.CtxError(opts.Context)
+	}
 	if plan.Empty {
 		return res, nil
 	}
@@ -217,6 +273,12 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 	// DISTINCT must see the projected rows even in silent mode.
 	materialize := !opts.Silent || plan.Distinct
 
+	// The governor always exists (it is where a contained worker panic
+	// lands); per-step gates are only handed out when the options actually
+	// constrain the query, so ungoverned execution pays nothing per step.
+	gov := governance.New(opts.governanceConfig())
+	governed := opts.governanceConfig().Enabled()
+
 	workers := make([]*worker, len(shards))
 	for i := range shards {
 		workers[i] = &worker{
@@ -224,17 +286,30 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 			plan:        plan,
 			strategy:    opts.Strategy,
 			tracer:      opts.MemTracer,
+			fault:       probeFaultHook,
+			hooked:      opts.MemTracer != nil || probeFaultHook != nil,
 			binding:     make([]uint32, plan.NumSlots),
 			cursors:     make([]int, len(plan.Patterns)),
 			materialize: materialize,
 			limit:       plan.Limit,
+			tick:        ungovernedTick,
+		}
+		if governed {
+			workers[i].gate = gov.NewGate()
+			workers[i].tick = int64(gov.Interval())
+			if materialize {
+				workers[i].rowBytes = rowFootprint(len(plan.Project))
+			}
 		}
 	}
 	if opts.MeasureShards {
 		res.ShardDurations = make([]time.Duration, len(shards))
 		for i, w := range workers {
+			if gov.Stopped() {
+				break
+			}
 			start := time.Now()
-			w.runShard(shards[i])
+			runShardContained(gov, w, shards[i])
 			res.ShardDurations[i] = time.Since(start)
 		}
 	} else {
@@ -243,7 +318,7 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 			wg.Add(1)
 			go func(w *worker, sh shard) {
 				defer wg.Done()
-				w.runShard(sh)
+				runShardContained(gov, w, sh)
 			}(w, shards[i])
 		}
 		wg.Wait()
@@ -251,6 +326,19 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 
 	for _, w := range workers {
 		res.Stats.Add(w.stats)
+	}
+	if err := gov.Err(); err != nil {
+		// Governed failure or contained panic: report partial progress
+		// (count and probe stats) alongside the typed error, but never hand
+		// out partial rows.
+		for _, w := range workers {
+			if w.materialize {
+				res.Count += int64(len(w.rows))
+			} else {
+				res.Count += w.count
+			}
+		}
+		return res, err
 	}
 	if materialize {
 		var rows [][]uint32
@@ -278,6 +366,27 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 	return res, nil
 }
 
+// rowFootprint estimates the materialized size of one projected row: the
+// uint32 payload plus the slice header, the figure the memory budget
+// charges per row.
+func rowFootprint(projected int) int64 { return int64(projected)*4 + 24 }
+
+// runShardContained drives one worker over its shard with panic
+// containment: a panic anywhere inside the pipeline is recovered, converted
+// into a typed query error on the governor (stack attached), and stops the
+// remaining workers at their next governance check instead of crashing the
+// process. On normal completion the worker's gate is flushed so budget
+// accounting is exact.
+func runShardContained(gov *governance.Governor, w *worker, sh shard) {
+	defer func() {
+		if r := recover(); r != nil {
+			gov.Fail(&governance.PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	w.runShard(sh)
+	w.closeGate()
+}
+
 func dedupRows(rows [][]uint32) [][]uint32 {
 	seen := make(map[string]bool, len(rows))
 	var key []byte
@@ -303,6 +412,8 @@ type worker struct {
 	plan     *optimizer.Plan
 	strategy Strategy
 	tracer   search.Tracer // nil unless Table-6-style tracing is on
+	fault    func()        // probeFaultHook, captured at construction; nil in production
+	hooked   bool          // tracer != nil || fault != nil: one branch guards both rare paths
 
 	binding []uint32
 	cursors []int // per-pattern key-array cursor for sequential resumption
@@ -311,6 +422,20 @@ type worker struct {
 	rows        [][]uint32
 	count       int64
 	limit       int
+
+	// tick is the amortized governance countdown: every probe decrements
+	// it, and only when it reaches zero does slowTick consult the gate. For
+	// ungoverned queries it starts at a practically unreachable value, so
+	// the hot recursion pays one decrement-and-branch on a field it already
+	// owns — no pointer chase, no inlined slow-path code. gate is nil when
+	// the query is ungoverned; rowBytes is the per-row memory charge when
+	// rows are materialized; flushed is how many produced rows have been
+	// charged to the gate so far (production itself is read off count/rows,
+	// so emit carries no governance code at all).
+	tick     int64
+	gate     *governance.Gate
+	rowBytes int64
+	flushed  int64
 
 	// stream, when non-nil, routes rows to ExecuteStream's collector
 	// instead of buffering them.
@@ -327,6 +452,7 @@ func (w *worker) emit() bool {
 		for i, slot := range w.plan.Project {
 			row[i] = w.binding[slot]
 		}
+		w.count++
 		return w.stream.push(row)
 	}
 	if w.materialize {
@@ -349,13 +475,25 @@ func (w *worker) table(pi int, p uint32) *store.Table {
 	return w.st.SO(p)
 }
 
-// locateKey finds v in t.Keys using the configured probe strategy and the
-// worker's per-pattern cursor.
-func (w *worker) locateKey(pi int, t *store.Table, v uint32) (int, bool) {
-	cur := &w.cursors[pi]
+// locateKeyHooked is the cold probe variant for fault injection and
+// tracing, dispatched to by stepWithPred when w.hooked is set. Kept out of
+// line: an inline indirect call would force register spills into the hot
+// probe path and slow the inlined search loops in locate below.
+//
+//go:noinline
+func (w *worker) locateKeyHooked(t *store.Table, v uint32, cur *int) (int, bool) {
+	if w.fault != nil {
+		w.fault()
+	}
 	if w.tracer != nil {
 		return w.locateKeyTraced(t, v, cur)
 	}
+	return w.locate(t, v, cur)
+}
+
+// locate runs the configured probe strategy; the search kernels inline
+// into this body.
+func (w *worker) locate(t *store.Table, v uint32, cur *int) (int, bool) {
 	switch w.strategy {
 	case BinaryOnly:
 		w.stats.Binary++
@@ -444,8 +582,59 @@ func searchRun(run []uint32, v uint32) bool {
 	return i < len(run) && run[i] == v
 }
 
+// ungovernedTick is the step countdown for ungoverned workers: large enough
+// that no real execution reaches zero (it would take centuries of steps), so
+// the recursion never leaves the fast path.
+const ungovernedTick = 1 << 62
+
+// slowTick is the amortized slow path of the per-step governance check: it
+// refills the countdown, charges the rows produced since the last check,
+// and consults the gate. Kept out of line so the hot recursion inlines only
+// the decrement-and-branch.
+//
+//go:noinline
+func (w *worker) slowTick() bool {
+	if w.gate == nil {
+		w.tick = ungovernedTick
+		return true
+	}
+	w.tick = int64(w.gate.Interval())
+	w.flushProduced()
+	return w.gate.Tick()
+}
+
+// produced reports how many result rows the worker has emitted so far,
+// read off the counters emit maintains anyway.
+func (w *worker) produced() int64 {
+	if w.materialize {
+		return int64(len(w.rows))
+	}
+	return w.count
+}
+
+// flushProduced charges the rows emitted since the last flush (and their
+// materialized bytes) to the gate. Only called when w.gate != nil.
+func (w *worker) flushProduced() {
+	p := w.produced()
+	w.gate.ProducedN(p-w.flushed, (p-w.flushed)*w.rowBytes)
+	w.flushed = p
+}
+
+// closeGate flushes the final row accounting and runs the gate's last
+// check, so budget enforcement is exact once all workers finish.
+func (w *worker) closeGate() {
+	if w.gate == nil {
+		return
+	}
+	w.flushProduced()
+	w.gate.Close()
+}
+
 // step evaluates pattern pi under the current binding and recurses. It
-// returns false to abort the worker (limit reached).
+// returns false to abort the worker (limit reached, or a governance check
+// tripped — the governor records which). The governance tick lives in
+// values/valuesUnion and the shard loops — every recursion passes through
+// one of them — so step itself stays tick-free.
 func (w *worker) step(pi int) bool {
 	if pi == len(w.plan.Patterns) {
 		return w.emit()
@@ -487,7 +676,14 @@ func (w *worker) stepWithPred(pi int, pp *optimizer.PatternPlan, pred uint32) bo
 		return w.values(pi, pp, t, pos)
 	case optimizer.BoundVar:
 		v := w.binding[pp.Key.Slot]
-		pos, ok := w.locateKey(pi, t, v)
+		cur := &w.cursors[pi]
+		var pos int
+		var ok bool
+		if w.hooked { // rare: fault injection or Table-6 memory tracing
+			pos, ok = w.locateKeyHooked(t, v, cur)
+		} else {
+			pos, ok = w.locate(t, v, cur)
+		}
 		if !ok {
 			return true
 		}
@@ -503,8 +699,13 @@ func (w *worker) stepWithPred(pi int, pp *optimizer.PatternPlan, pred uint32) bo
 	}
 }
 
-// values handles the value column of pattern pi for the key at pos.
+// values handles the value column of pattern pi for the key at pos. The
+// gate tick here (in addition to step's) covers key scans whose probes all
+// miss — a worst-case scan must still observe cancellation.
 func (w *worker) values(pi int, pp *optimizer.PatternPlan, t *store.Table, pos int) bool {
+	if w.tick--; w.tick <= 0 && !w.slowTick() {
+		return false
+	}
 	run := t.Run(pos)
 	switch pp.Val.Kind {
 	case optimizer.NewVar:
@@ -566,6 +767,9 @@ func (w *worker) runShard(sh shard) {
 	case sh.unionKeys != nil:
 		tables := w.expandedTables(0, pp)
 		for _, k := range sh.unionKeys {
+			if w.tick--; w.tick <= 0 && !w.slowTick() {
+				return
+			}
 			w.binding[pp.Key.Slot] = k
 			if !w.valuesUnion(0, pp, w.collectRuns(tables, []uint32{k})) {
 				return
@@ -574,6 +778,9 @@ func (w *worker) runShard(sh shard) {
 		return
 	case sh.unionVals != nil:
 		for _, v := range sh.unionVals {
+			if w.tick--; w.tick <= 0 && !w.slowTick() {
+				return
+			}
 			w.binding[pp.Val.Slot] = v
 			if !w.step(1) {
 				return
@@ -590,6 +797,9 @@ func (w *worker) runShard(sh shard) {
 			// Constant key: iterate a slice of its run.
 			run := t.Run(r.keyPos)[r.valFrom:r.valTo]
 			for _, v := range run {
+				if w.tick--; w.tick <= 0 && !w.slowTick() {
+					return
+				}
 				switch pp.Val.Kind {
 				case optimizer.NewVar:
 					w.binding[pp.Val.Slot] = v

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
+	"parj/internal/governance"
 	"parj/internal/optimizer"
 	"parj/internal/store"
 )
@@ -36,6 +38,9 @@ func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink fun
 	if plan.Distinct || plan.Limit > 0 {
 		return 0, errStreamUnsupported
 	}
+	if opts.Context != nil && opts.Context.Err() != nil {
+		return 0, governance.CtxError(opts.Context)
+	}
 	if plan.Empty {
 		return 0, nil
 	}
@@ -56,6 +61,14 @@ func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink fun
 	}
 	shards := makeShards(st, plan, threads)
 
+	// As in Execute, the governor is where worker panics land; per-step
+	// gates exist only when the options constrain the query. Streaming
+	// charges produced rows against MaxResultRows but no memory — the whole
+	// point of the iterator path (§5.2) is that it never accumulates the
+	// result, so only bounded batch buffers are alive at any moment.
+	gov := governance.New(opts.governanceConfig())
+	governed := opts.governanceConfig().Enabled()
+
 	// Workers push row batches into a channel; one collector drains it.
 	// Batching keeps channel traffic off the per-row hot path.
 	const batchSize = 256
@@ -68,6 +81,8 @@ func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink fun
 			st:       st,
 			plan:     plan,
 			strategy: opts.Strategy,
+			fault:    probeFaultHook,
+			hooked:   probeFaultHook != nil,
 			binding:  make([]uint32, plan.NumSlots),
 			cursors:  make([]int, len(plan.Patterns)),
 			stream: &streamSink{
@@ -75,11 +90,22 @@ func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink fun
 				cancel: cancel,
 				batch:  make([][]uint32, 0, batchSize),
 			},
+			tick: ungovernedTick,
+		}
+		if governed {
+			w.gate = gov.NewGate()
+			w.tick = int64(gov.Interval())
 		}
 		wg.Add(1)
 		go func(w *worker, sh shard) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					gov.Fail(&governance.PanicError{Value: r, Stack: debug.Stack()})
+				}
+			}()
 			w.runShard(sh)
+			w.closeGate()
 			w.stream.flush()
 		}(w, shards[i])
 	}
@@ -90,18 +116,33 @@ func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink fun
 
 	var count int64
 	stopped := false
+	stop := func() {
+		if !stopped {
+			stopped = true
+			close(cancel)
+		}
+	}
 	for batch := range rowCh {
 		if stopped {
 			continue // drain so workers don't block on a full channel
 		}
+		if !gov.Check() {
+			// A worker tripped a governance check (or the context expired
+			// while the collector was idle): stop delivery, then keep
+			// draining so workers unwind.
+			stop()
+			continue
+		}
 		for _, row := range batch {
 			if !sink(row) {
-				stopped = true
-				close(cancel)
+				stop()
 				break
 			}
 			count++
 		}
+	}
+	if err := gov.Err(); err != nil {
+		return count, err
 	}
 	return count, nil
 }

@@ -121,6 +121,9 @@ func (w *worker) stepExpanded(pi int, pp *optimizer.PatternPlan) bool {
 // valuesUnion handles the value column of an expanded pattern over the
 // gathered runs.
 func (w *worker) valuesUnion(pi int, pp *optimizer.PatternPlan, runs [][]uint32) bool {
+	if w.tick--; w.tick <= 0 && !w.slowTick() {
+		return false
+	}
 	switch pp.Val.Kind {
 	case optimizer.NewVar:
 		return unionRuns(runs, func(v uint32) bool {

@@ -2,9 +2,11 @@ package difftest
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"parj/internal/bench"
 	"parj/internal/core"
@@ -98,6 +100,20 @@ func metamorphicChecks(rng *rand.Rand, benchDS *bench.Dataset, ds *Dataset, q *Q
 		fail("meta-count", fmt.Sprintf("silent COUNT %d vs %d materialized rows", n, len(base)))
 	}
 
+	// Governance transparency: the same query under a generous deadline and
+	// huge budgets must return exactly the untimed result — limits that
+	// never trip may not alter what the engine computes. This also diffs the
+	// gated (governed) worker inner loops against the ungated fast path.
+	// LIMIT sits this out like the permutation check: truncation order is
+	// not part of the contract.
+	if !q.HasLimit {
+		if rows, err := governedEvaluate(benchDS, parsed); err != nil {
+			fail("meta-governed", "error: "+err.Error())
+		} else if diff := reference.DiffMultisets(base, rows); diff != "" {
+			fail("meta-governed", diff)
+		}
+	}
+
 	// Snapshot round-trip, once per dataset: the reloaded store (indexes
 	// rebuilt from the snapshot's tables) must answer identically.
 	if checkSnapshot {
@@ -117,6 +133,30 @@ func evalSrc(eng bench.RowEngine, q *Query) ([][]string, error) {
 		return nil, fmt.Errorf("parse %q: %w", q.Src(), err)
 	}
 	return eng.Evaluate(parsed)
+}
+
+// governedEvaluate runs parsed with a one-hour deadline, effectively
+// unlimited budgets, and a tiny check interval, so the gates actually sync
+// many times even on difftest-sized data.
+func governedEvaluate(benchDS *bench.Dataset, parsed *sparql.Query) ([][]string, error) {
+	st, ss := benchDS.Store()
+	plan, err := optimizer.Optimize(parsed, st, ss)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	res, err := core.Execute(st, plan, core.Options{
+		Threads: 2, Strategy: core.AdaptiveBinary,
+		Context:       ctx,
+		MaxResultRows: 1 << 40,
+		MemoryBudget:  1 << 40,
+		CheckInterval: 64,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.StringRows(st), nil
 }
 
 // snapshotEvaluate round-trips the PARJ store through Save/LoadSnapshot and

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"parj/internal/bench"
+	"parj/internal/governance"
 	"parj/internal/rdf"
 	"parj/internal/rdfs"
 	"parj/internal/reference"
@@ -179,6 +180,13 @@ func runDataset(cfg Config, rep *Report, ds *Dataset, benchDS *bench.Dataset, ds
 			got, err := eng.Evaluate(parsed)
 			var diff string
 			if err != nil {
+				// A governance outcome (deadline, budget, shed) is a policy
+				// result, not an engine divergence: engines under different
+				// limits may legitimately disagree on whether a query runs.
+				if governance.IsPolicy(err) {
+					rep.Skipped++
+					continue
+				}
 				diff = "error: " + err.Error()
 			} else {
 				diff = Compare(parsed, want, got)

@@ -106,6 +106,25 @@ type Plan struct {
 	EstCard float64
 }
 
+// EstResultRows is the optimizer's estimate of the number of result rows —
+// the governance layer's budget-estimation hook. Plans expected to produce
+// huge results get tighter in-flight governance checks (see
+// governance.IntervalForEstimate); serving layers can log or pre-screen on
+// it. Zero for provably empty plans.
+func (p *Plan) EstResultRows() float64 {
+	if p.Empty {
+		return 0
+	}
+	return p.EstCard
+}
+
+// EstMemoryBytes estimates the bytes a fully materialized result would
+// occupy (projected uint32 payload plus per-row slice overhead), the figure
+// a MemoryBudget is compared against when sizing admission policies.
+func (p *Plan) EstMemoryBytes() float64 {
+	return p.EstResultRows() * float64(len(p.Project)*4+24)
+}
+
 // Explain renders a human-readable description of the plan.
 func (p *Plan) Explain() string {
 	if p.Empty {

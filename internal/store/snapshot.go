@@ -3,7 +3,10 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 
 	"parj/internal/dict"
@@ -16,90 +19,140 @@ import (
 // a store saves its dictionary-encoded tables once and later loads them
 // without re-parsing N-Triples or re-sorting. ID-to-Position indexes and
 // simulated base addresses are rebuilt at load (they are derived data).
+//
+// Layout (version 2): magic, format version, payload, then a CRC32 (IEEE)
+// of everything before it. LoadSnapshot verifies the version, the checksum,
+// and the structural invariants of every table, and reports any violation
+// as ErrCorruptSnapshot — a bit-flipped or truncated snapshot file must
+// never panic the loader or build a store that panics later. Version-1
+// snapshots (no checksum) are still read.
 
 const (
 	snapshotMagic   = "PARJSNAP"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
-// Save writes a binary snapshot of the store.
+// ErrCorruptSnapshot reports a snapshot that failed an integrity check:
+// bad magic, unsupported version, checksum mismatch, truncation, or a
+// structural invariant violation. All LoadSnapshot corruption errors wrap
+// it; dispatch with errors.Is.
+var ErrCorruptSnapshot = errors.New("corrupt snapshot")
+
+// corruptf builds an ErrCorruptSnapshot-wrapping error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("store: %w: %s", ErrCorruptSnapshot, fmt.Sprintf(format, args...))
+}
+
+// Save writes a binary snapshot of the store: a format-version header, the
+// dictionaries and tables, and a trailing CRC32 over everything before it.
 func (s *Store) Save(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
+	sum := crc32.NewIEEE()
+	hw := io.MultiWriter(bw, sum) // everything written here is checksummed
+	if _, err := hw.Write([]byte(snapshotMagic)); err != nil {
 		return err
 	}
-	if err := writeU32(bw, snapshotVersion); err != nil {
+	if err := writeU32(hw, snapshotVersion); err != nil {
 		return err
 	}
 	hasIndex := uint32(0)
 	if len(s.so) > 0 && s.so[0].Index != nil {
 		hasIndex = 1
 	}
-	if err := writeU32(bw, hasIndex); err != nil {
+	if err := writeU32(hw, hasIndex); err != nil {
 		return err
 	}
 	// Dictionaries, length-prefixed.
 	for _, d := range []*dict.Dict{s.Resources, s.Predicates} {
-		if err := writeDict(bw, d); err != nil {
+		if err := writeDict(hw, d); err != nil {
 			return err
 		}
 	}
-	if err := writeU32(bw, uint32(len(s.so))); err != nil {
+	if err := writeU32(hw, uint32(len(s.so))); err != nil {
 		return err
 	}
 	for p := range s.so {
 		for _, t := range []*Table{&s.so[p], &s.os[p]} {
-			if err := writeU32(bw, t.Threshold); err != nil {
+			if err := writeU32(hw, t.Threshold); err != nil {
 				return err
 			}
-			if err := writeU32(bw, t.IndexThreshold); err != nil {
+			if err := writeU32(hw, t.IndexThreshold); err != nil {
 				return err
 			}
 			for _, arr := range [][]uint32{t.Keys, t.Offs, t.Vals} {
-				if err := writeU32Slice(bw, arr); err != nil {
+				if err := writeU32Slice(hw, arr); err != nil {
 					return err
 				}
 			}
 		}
 	}
+	// The checksum itself is written outside the checksummed stream.
+	if err := writeU32(bw, sum.Sum32()); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
-// LoadSnapshot reconstructs a store written by Save. Derived structures
-// (ID-to-Position indexes when the snapshot had them, simulated base
-// addresses, the directory) are rebuilt.
+// snapReader reads the snapshot payload while feeding every consumed byte
+// into the running checksum, so the trailing CRC can be verified without
+// buffering the payload.
+type snapReader struct {
+	br  *bufio.Reader
+	sum hash.Hash32
+}
+
+func (r *snapReader) Read(p []byte) (int, error) {
+	n, err := r.br.Read(p)
+	r.sum.Write(p[:n])
+	return n, err
+}
+
+func (r *snapReader) ReadString(delim byte) (string, error) {
+	s, err := r.br.ReadString(delim)
+	r.sum.Write([]byte(s))
+	return s, err
+}
+
+// LoadSnapshot reconstructs a store written by Save, verifying the format
+// version, the CRC32 checksum, and every table's structural invariants.
+// Derived structures (ID-to-Position indexes when the snapshot had them,
+// simulated base addresses, the directory) are rebuilt. Corruption in any
+// form is reported as an error wrapping ErrCorruptSnapshot.
 func LoadSnapshot(r io.Reader) (*Store, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	sr := &snapReader{br: bufio.NewReaderSize(r, 1<<20), sum: crc32.NewIEEE()}
 	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("store: snapshot header: %w", err)
+	if _, err := io.ReadFull(sr, magic); err != nil {
+		return nil, corruptf("snapshot header: %v", err)
 	}
 	if string(magic) != snapshotMagic {
-		return nil, fmt.Errorf("store: not a PARJ snapshot (magic %q)", magic)
+		return nil, corruptf("not a PARJ snapshot (magic %q)", magic)
 	}
-	version, err := readU32(br)
+	version, err := readU32(sr)
 	if err != nil {
-		return nil, err
+		return nil, corruptf("snapshot version: %v", err)
 	}
-	if version != snapshotVersion {
-		return nil, fmt.Errorf("store: unsupported snapshot version %d", version)
+	if version != 1 && version != snapshotVersion {
+		return nil, corruptf("unsupported snapshot version %d", version)
 	}
-	hasIndex, err := readU32(br)
+	hasIndex, err := readU32(sr)
 	if err != nil {
-		return nil, err
+		return nil, corruptf("header: %v", err)
+	}
+	if hasIndex > 1 {
+		return nil, corruptf("index flag %d out of range", hasIndex)
 	}
 	st := &Store{Resources: dict.New(), Predicates: dict.New()}
 	for _, d := range []*dict.Dict{st.Resources, st.Predicates} {
-		if err := readDict(br, d); err != nil {
+		if err := readDict(sr, d); err != nil {
 			return nil, err
 		}
 	}
-	nPred, err := readU32(br)
+	nPred, err := readU32(sr)
 	if err != nil {
-		return nil, err
+		return nil, corruptf("predicate count: %v", err)
 	}
 	if int(nPred) > st.Predicates.Len() {
-		return nil, fmt.Errorf("store: snapshot has %d predicates but dictionary only %d", nPred, st.Predicates.Len())
+		return nil, corruptf("snapshot has %d predicates but dictionary only %d", nPred, st.Predicates.Len())
 	}
 	st.so = make([]Table, nPred)
 	st.os = make([]Table, nPred)
@@ -108,23 +161,31 @@ func LoadSnapshot(r io.Reader) (*Store, error) {
 	maxID := st.Resources.MaxID()
 	for p := 0; p < int(nPred); p++ {
 		for ti, t := range []*Table{&st.so[p], &st.os[p]} {
-			if t.Threshold, err = readU32(br); err != nil {
-				return nil, err
+			if t.Threshold, err = readU32(sr); err != nil {
+				return nil, corruptf("predicate %d: %v", p+1, err)
 			}
-			if t.IndexThreshold, err = readU32(br); err != nil {
-				return nil, err
+			if t.IndexThreshold, err = readU32(sr); err != nil {
+				return nil, corruptf("predicate %d: %v", p+1, err)
 			}
-			if t.Keys, err = readU32Slice(br); err != nil {
-				return nil, err
+			if t.Keys, err = readU32Slice(sr); err != nil {
+				return nil, corruptf("predicate %d keys: %v", p+1, err)
 			}
-			if t.Offs, err = readU32Slice(br); err != nil {
-				return nil, err
+			if t.Offs, err = readU32Slice(sr); err != nil {
+				return nil, corruptf("predicate %d offsets: %v", p+1, err)
 			}
-			if t.Vals, err = readU32Slice(br); err != nil {
-				return nil, err
+			if t.Vals, err = readU32Slice(sr); err != nil {
+				return nil, corruptf("predicate %d values: %v", p+1, err)
 			}
 			if err := validateCSR(t); err != nil {
-				return nil, fmt.Errorf("store: snapshot predicate %d replica %d: %w", p+1, ti, err)
+				return nil, corruptf("snapshot predicate %d replica %d: %v", p+1, ti, err)
+			}
+			// Keys are strictly ascending, so bounding the first and last
+			// bounds them all; an out-of-dictionary key (IDs are 1-based)
+			// would blow up the ID-to-Position index build below, before
+			// the checksum gets a chance to veto.
+			if len(t.Keys) > 0 && (t.Keys[0] == 0 || t.Keys[len(t.Keys)-1] > maxID) {
+				return nil, corruptf("snapshot predicate %d replica %d: keys [%d,%d] outside resource id space [1,%d]",
+					p+1, ti, t.Keys[0], t.Keys[len(t.Keys)-1], maxID)
 			}
 			t.KeysBase = base
 			base += uint64(len(t.Keys))*4 + 4096
@@ -142,6 +203,18 @@ func LoadSnapshot(r io.Reader) (*Store, error) {
 		st.numTriples += st.so[p].NumTriples()
 		st.directory[2*p] = uint32(len(st.so[p].Keys))
 		st.directory[2*p+1] = uint32(len(st.os[p].Keys))
+	}
+	if version >= 2 {
+		// The trailing checksum is read from the raw stream — it covers
+		// everything consumed so far but not itself.
+		want := sr.sum.Sum32()
+		got, err := readU32(sr.br)
+		if err != nil {
+			return nil, corruptf("missing checksum: %v", err)
+		}
+		if got != want {
+			return nil, corruptf("checksum mismatch: stored %08x, computed %08x", got, want)
+		}
 	}
 	return st, nil
 }
@@ -214,13 +287,18 @@ func readU32Slice(r io.Reader) ([]uint32, error) {
 	}
 	const maxLen = 1 << 31
 	if n > maxLen {
-		return nil, fmt.Errorf("store: slice length %d exceeds limit", n)
+		return nil, fmt.Errorf("slice length %d exceeds limit", n)
 	}
-	out := make([]uint32, n)
+	// Grow incrementally: a corrupted length prefix must fail on the missing
+	// data, not translate into a multi-gigabyte up-front allocation.
+	capHint := int(n)
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	out := make([]uint32, 0, capHint)
 	buf := make([]byte, 4096)
-	i := 0
-	for i < int(n) {
-		want := (int(n) - i) * 4
+	for len(out) < int(n) {
+		want := (int(n) - len(out)) * 4
 		if want > len(buf) {
 			want = len(buf)
 		}
@@ -228,8 +306,7 @@ func readU32Slice(r io.Reader) ([]uint32, error) {
 			return nil, err
 		}
 		for off := 0; off < want; off += 4 {
-			out[i] = binary.LittleEndian.Uint32(buf[off:])
-			i++
+			out = append(out, binary.LittleEndian.Uint32(buf[off:]))
 		}
 	}
 	return out, nil
@@ -243,15 +320,15 @@ func writeDict(w io.Writer, d *dict.Dict) error {
 	return err
 }
 
-func readDict(r *bufio.Reader, d *dict.Dict) error {
+func readDict(r *snapReader, d *dict.Dict) error {
 	n, err := readU32(r)
 	if err != nil {
-		return err
+		return corruptf("dictionary size: %v", err)
 	}
 	for i := 0; i < int(n); i++ {
 		line, err := r.ReadString('\n')
 		if err != nil {
-			return fmt.Errorf("store: dictionary entry %d: %w", i, err)
+			return corruptf("dictionary entry %d: %v", i, err)
 		}
 		d.Encode(line[:len(line)-1])
 	}

@@ -1,0 +1,39 @@
+// Package testutil holds helpers shared by tests across packages.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and returns a function that
+// fails the test if the count has not returned to the snapshot within five
+// seconds — the shared goroutine-leak assertion for cancellation, panic-
+// containment and streaming tests:
+//
+//	defer testutil.LeakCheck(t)()
+//
+// Workers legitimately take a moment to unwind after a cancel (they park on
+// channel sends or run to their next governance check), so the checker
+// polls instead of asserting immediately; on timeout it dumps every
+// goroutine stack.
+func LeakCheck(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if after := runtime.NumGoroutine(); after <= before {
+				return
+			} else if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

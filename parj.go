@@ -23,14 +23,17 @@
 package parj
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"parj/internal/core"
+	"parj/internal/governance"
 	"parj/internal/optimizer"
 	"parj/internal/rdf"
 	"parj/internal/rdfs"
@@ -39,6 +42,34 @@ import (
 	"parj/internal/stats"
 	"parj/internal/store"
 )
+
+// Typed governance errors. Every error returned by Query, QueryStream and
+// friends that stems from resource governance wraps exactly one of these;
+// dispatch with errors.Is. ErrCanceled and ErrDeadlineExceeded also match
+// context.Canceled and context.DeadlineExceeded respectively. See
+// docs/ROBUSTNESS.md for the full taxonomy.
+var (
+	// ErrCanceled reports that QueryOptions.Context was canceled.
+	ErrCanceled = governance.ErrCanceled
+	// ErrDeadlineExceeded reports that the query's deadline or
+	// QueryOptions.Timeout expired mid-execution.
+	ErrDeadlineExceeded = governance.ErrDeadlineExceeded
+	// ErrBudgetExceeded reports that the query exceeded
+	// QueryOptions.MaxResultRows or QueryOptions.MemoryBudget.
+	ErrBudgetExceeded = governance.ErrBudgetExceeded
+	// ErrOverloaded is the load-shedding error: the store was running
+	// DBOptions.MaxConcurrentQueries queries and this one could not be
+	// admitted within DBOptions.AdmissionWait.
+	ErrOverloaded = governance.ErrOverloaded
+	// ErrCorruptSnapshot reports that a snapshot failed its integrity
+	// checks (bad structure or checksum mismatch).
+	ErrCorruptSnapshot = store.ErrCorruptSnapshot
+)
+
+// PanicError is a worker panic contained to a query error: the process
+// keeps serving, and the offending goroutine's stack is preserved. Extract
+// it with errors.As.
+type PanicError = governance.PanicError
 
 // Strategy selects the key-probe method; see the package documentation of
 // internal/core and Table 5 of the paper.
@@ -70,6 +101,22 @@ type LoadOptions struct {
 	// paper-reported defaults are used (deterministic, and accurate on
 	// commodity hardware).
 	Calibrate bool
+	// DB configures store-wide governance (admission control) from the
+	// moment the store exists; SetDBOptions can change it later.
+	DB DBOptions
+}
+
+// DBOptions configures store-wide resource governance.
+type DBOptions struct {
+	// MaxConcurrentQueries caps how many queries execute at once; further
+	// queries wait up to AdmissionWait and are then shed with
+	// ErrOverloaded. 0 = unlimited. Under overload the store degrades
+	// gracefully — shedding queries with a typed error — instead of
+	// accumulating unbounded concurrent result buffers.
+	MaxConcurrentQueries int
+	// AdmissionWait bounds how long an over-admission query queues before
+	// it is shed. 0 means shed immediately when saturated.
+	AdmissionWait time.Duration
 }
 
 func (o LoadOptions) buildOptions() store.BuildOptions {
@@ -94,6 +141,52 @@ type QueryOptions struct {
 	// triples (the paper's §6 extension). Patterns over rdf:type match
 	// subclasses; patterns over a property match its subproperties.
 	Entailment bool
+
+	// Context carries the query's cancellation signal and deadline into
+	// the worker inner loops: canceling it stops the query within a
+	// fraction of a millisecond with ErrCanceled (or ErrDeadlineExceeded
+	// when the context's own deadline expired). nil means no cancellation.
+	Context context.Context
+	// Timeout, when positive, bounds the query's wall-clock time on top of
+	// (and independently of) Context; expiry yields ErrDeadlineExceeded.
+	Timeout time.Duration
+	// MaxResultRows bounds the rows the engine produces across all
+	// workers, before final DISTINCT/LIMIT compaction; exceeding it yields
+	// ErrBudgetExceeded. 0 = unlimited.
+	MaxResultRows int64
+	// MemoryBudget bounds the bytes of materialized result rows across all
+	// workers; exceeding it yields ErrBudgetExceeded. Silent counting and
+	// QueryStream charge no memory. 0 = unlimited.
+	MemoryBudget int64
+}
+
+// execContext derives the execution context from Context and Timeout. The
+// returned cancel must be called when execution finishes (it is a no-op
+// when no timeout was requested).
+func (o *QueryOptions) execContext() (context.Context, context.CancelFunc) {
+	ctx := o.Context
+	if o.Timeout <= 0 {
+		return ctx, func() {}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithTimeout(ctx, o.Timeout)
+}
+
+// execOptions assembles the engine options for one execution of plan. The
+// optimizer's cardinality estimate tunes how often workers check for
+// cancellation: plans expected to run long are checked more often.
+func (o *QueryOptions) execOptions(ctx context.Context, plan *optimizer.Plan) core.Options {
+	return core.Options{
+		Threads:       o.Threads,
+		Strategy:      o.Strategy,
+		Silent:        o.Silent,
+		Context:       ctx,
+		MaxResultRows: o.MaxResultRows,
+		MemoryBudget:  o.MemoryBudget,
+		CheckInterval: governance.IntervalForEstimate(plan.EstResultRows()),
+	}
 }
 
 // Results holds a query's outcome.
@@ -114,8 +207,32 @@ type Store struct {
 	st    *store.Store
 	stats *stats.Stats
 
+	// limiter implements DB-level admission control; nil admits everything.
+	limiter *governance.Limiter
+
 	hierOnce sync.Once
 	hier     *rdfs.Hierarchy
+}
+
+// SetDBOptions (re)configures store-wide governance. It must not be called
+// concurrently with queries; set it once right after loading. Queries
+// already admitted keep their slots.
+func (s *Store) SetDBOptions(opts DBOptions) {
+	s.limiter = governance.NewLimiter(opts.MaxConcurrentQueries, opts.AdmissionWait)
+}
+
+// InFlightQueries reports how many queries are currently admitted (always 0
+// when admission control is off) — a cheap load signal for health checks.
+func (s *Store) InFlightQueries() int { return s.limiter.InFlight() }
+
+// admit reserves an execution slot, shedding with ErrOverloaded when the
+// store is saturated longer than the admission wait. The caller must call
+// the returned release exactly once; on error there is nothing to release.
+func (s *Store) admit(ctx context.Context) (release func(), err error) {
+	if err := s.limiter.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("parj: %w", err)
+	}
+	return s.limiter.Release, nil
 }
 
 // hierarchy lazily computes the RDFS closures on first entailment query.
@@ -147,7 +264,11 @@ func (b *Builder) Add(subject, predicate, object string) {
 // afterwards.
 func (b *Builder) Build() *Store {
 	st := b.b.Build(b.opts.buildOptions())
-	return &Store{st: st, stats: stats.New(st)}
+	return &Store{
+		st:      st,
+		stats:   stats.New(st),
+		limiter: governance.NewLimiter(b.opts.DB.MaxConcurrentQueries, b.opts.DB.AdmissionWait),
+	}
 }
 
 // Load reads an N-Triples document and builds a Store.
@@ -257,7 +378,21 @@ func (s *Store) PredicateInfos() []PredicateInfo {
 // Query parses, optimizes and executes a SPARQL query. ORDER BY sorts the
 // decoded terms lexicographically (ascending unless DESC); OFFSET skips
 // rows after ordering and before LIMIT.
+//
+// Governance (QueryOptions.Context, Timeout, MaxResultRows, MemoryBudget,
+// and the store's admission control) fails the query with one of the typed
+// errors; when execution had already started, the returned *Results is
+// non-nil and carries partial progress — the count of rows produced so far
+// and the probe statistics — but never partial rows.
 func (s *Store) Query(src string, opts QueryOptions) (*Results, error) {
+	ctx, cancel := opts.execContext()
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("parj: %w", err)
@@ -272,7 +407,7 @@ func (s *Store) Query(src string, opts QueryOptions) (*Results, error) {
 	}
 
 	post := len(q.OrderBy) > 0 || q.Offset > 0
-	execOpts := core.Options{Threads: opts.Threads, Strategy: opts.Strategy, Silent: opts.Silent}
+	execOpts := opts.execOptions(ctx, plan)
 	if post {
 		// Ordering and offsets need the full, materialized result: the
 		// engine must not truncate early, and rows must be decoded to sort
@@ -282,6 +417,10 @@ func (s *Store) Query(src string, opts QueryOptions) (*Results, error) {
 	}
 	res, err := core.Execute(s.st, plan, execOpts)
 	if err != nil {
+		if res != nil {
+			return &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats},
+				fmt.Errorf("parj: %w", err)
+		}
 		return nil, fmt.Errorf("parj: %w", err)
 	}
 	out := &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats}
@@ -341,14 +480,19 @@ func (s *Store) Query(src string, opts QueryOptions) (*Results, error) {
 // cancel. DISTINCT and LIMIT require buffering and are rejected; use Query.
 // The returned count is the number of rows delivered.
 func (s *Store) QueryStream(src string, opts QueryOptions, fn func(row []string) bool) (int64, error) {
+	ctx, cancel := opts.execContext()
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+
 	plan, err := s.plan(src, opts.Entailment)
 	if err != nil {
 		return 0, err
 	}
-	return core.ExecuteStream(s.st, plan, core.Options{
-		Threads:  opts.Threads,
-		Strategy: opts.Strategy,
-	}, func(row []uint32) bool {
+	n, err := core.ExecuteStream(s.st, plan, opts.execOptions(ctx, plan), func(row []uint32) bool {
 		dec := make([]string, len(row))
 		for i, id := range row {
 			slot := plan.Project[i]
@@ -360,6 +504,10 @@ func (s *Store) QueryStream(src string, opts QueryOptions, fn func(row []string)
 		}
 		return fn(dec)
 	})
+	if err != nil {
+		return n, fmt.Errorf("parj: %w", err)
+	}
+	return n, nil
 }
 
 // Prepared is a parsed and optimized query, reusable across executions.
@@ -381,14 +529,23 @@ func (s *Store) Prepare(src string, entailment bool) (*Prepared, error) {
 	return &Prepared{s: s, plan: plan}, nil
 }
 
-// Query executes the prepared plan.
+// Query executes the prepared plan under the same governance semantics as
+// Store.Query.
 func (p *Prepared) Query(opts QueryOptions) (*Results, error) {
-	res, err := core.Execute(p.s.st, p.plan, core.Options{
-		Threads:  opts.Threads,
-		Strategy: opts.Strategy,
-		Silent:   opts.Silent,
-	})
+	ctx, cancel := opts.execContext()
+	defer cancel()
+	release, err := p.s.admit(ctx)
 	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	res, err := core.Execute(p.s.st, p.plan, opts.execOptions(ctx, p.plan))
+	if err != nil {
+		if res != nil {
+			return &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats},
+				fmt.Errorf("parj: %w", err)
+		}
 		return nil, fmt.Errorf("parj: %w", err)
 	}
 	out := &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats}

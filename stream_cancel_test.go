@@ -2,9 +2,9 @@ package parj
 
 import (
 	"fmt"
-	"runtime"
 	"testing"
-	"time"
+
+	"parj/internal/testutil"
 )
 
 // TestQueryStreamEarlyTermination cancels a multi-worker stream from the
@@ -19,7 +19,7 @@ func TestQueryStreamEarlyTermination(t *testing.T) {
 	}
 	db := b.Build()
 
-	before := runtime.NumGoroutine()
+	checkLeak := testutil.LeakCheck(t)
 
 	for round := 0; round < 5; round++ {
 		delivered := 0
@@ -47,19 +47,7 @@ func TestQueryStreamEarlyTermination(t *testing.T) {
 		}
 	}
 
-	// Workers park on channel sends when the consumer stops; give the
-	// runtime a moment to unwind them, then compare goroutine counts.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if after := runtime.NumGoroutine(); after <= before {
-			break
-		} else if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutine leak after cancelled streams: %d before, %d after\n%s",
-				before, after, buf[:n])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	// Workers park on channel sends when the consumer stops; the leak
+	// checker gives the runtime a moment to unwind them.
+	checkLeak()
 }
