@@ -1,0 +1,135 @@
+// Command parj-node serves one full replica of a store as a shard node of
+// the distributed serving tier. A coordinator (internal/cluster.Remote)
+// POSTs shard-range execution requests to /exec; the node parses, plans and
+// evaluates them against its local replica and streams back dictionary-
+// encoded rows. Because every node is a full replica and the sharding is a
+// pure function of the plan, any node can serve any shard range — which is
+// what lets the coordinator retry, hedge and fail over freely.
+//
+// Usage:
+//
+//	parj-node -data graph.nt -addr :7070 -max-concurrent 8
+//
+// Endpoints:
+//
+//	POST /exec     evaluate a shard range (internal/remote wire protocol)
+//	GET  /healthz  liveness
+//	GET  /readyz   readiness: 503 while loading or draining
+//
+// The listener comes up before the replica finishes loading; /readyz flips
+// to 200 once the store is resident and back to 503 when a drain starts.
+// SIGINT/SIGTERM drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"parj/internal/rdf"
+	"parj/internal/remote"
+	"parj/internal/store"
+)
+
+func main() {
+	var (
+		dataPath      = flag.String("data", "", "N-Triples or .snapshot file to load (required)")
+		addr          = flag.String("addr", ":7070", "listen address")
+		noIndex       = flag.Bool("noindex", false, "skip building ID-to-Position indexes")
+		maxConcurrent = flag.Int("max-concurrent", 8, "shard requests executing at once; further ones queue then shed (0 = unlimited)")
+		admissionWait = flag.Duration("admission-wait", 2*time.Second, "how long an over-admission request queues before 503")
+		drainTimeout  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain limit")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "parj-node: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Listen before loading: the node answers /readyz with 503 while the
+	// replica loads, so the coordinator's health checks see "starting".
+	var nodePtr atomic.Pointer[remote.Node]
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		node := nodePtr.Load()
+		if node == nil {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"kind":"overload","error":"replica is still loading"}`, http.StatusServiceUnavailable)
+			return
+		}
+		node.Handler().ServeHTTP(w, r)
+	})
+	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	start := time.Now()
+	st, err := loadStore(*dataPath, !*noIndex)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parj-node: load:", err)
+		srv.Close()
+		os.Exit(1)
+	}
+	node := remote.NewNode(st, nil, remote.NodeOptions{
+		MaxConcurrent: *maxConcurrent,
+		AdmissionWait: *admissionWait,
+	})
+	nodePtr.Store(node)
+	fmt.Fprintf(os.Stderr, "replica loaded: %d triples in %v; serving on %s\n",
+		st.NumTriples(), time.Since(start).Round(time.Millisecond), *addr)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "parj-node: draining in-flight requests...")
+		node.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+	}()
+
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "parj-node:", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// loadStore reads an N-Triples file or a .snapshot into an internal store.
+func loadStore(path string, posIndex bool) (*store.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".snapshot") {
+		return store.LoadSnapshot(f)
+	}
+	var triples []rdf.Triple
+	rd := rdf.NewReader(f)
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		triples = append(triples, t)
+	}
+	return store.LoadTriples(triples, store.BuildOptions{BuildPosIndex: posIndex}), nil
+}

@@ -13,6 +13,11 @@
 //	GET  /query?query=SELECT...   execute a SPARQL query, JSON response
 //	POST /query                   query in the body (or form field "query")
 //	GET  /healthz                 liveness + load signal
+//	GET  /readyz                  readiness: 503 while loading or draining
+//
+// The listener comes up before the store load finishes, so orchestrators
+// can watch /readyz flip from 503 to 200 instead of timing out on a closed
+// port; /readyz flips back to 503 the moment a drain starts.
 //
 // Status mapping: 400 unparsable query, 413 budget exceeded, 503 overloaded
 // (with Retry-After), 504 deadline exceeded or client gone, 500 contained
@@ -30,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -56,6 +62,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Listen first, load second: /readyz answers 503 while the store loads
+	// so orchestrators see "starting", not "dead".
+	state := &serverState{}
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: newStateHandler(state, parj.QueryOptions{
+			Threads:       *threads,
+			Timeout:       *timeout,
+			MaxResultRows: *maxRows,
+			MemoryBudget:  *memBudget,
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
 	start := time.Now()
 	db, err := parj.LoadFile(*dataPath, parj.LoadOptions{
 		PosIndex: !*noIndex,
@@ -66,21 +89,12 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parj-server: load:", err)
+		srv.Close()
 		os.Exit(1)
 	}
+	state.setStore(db)
 	fmt.Fprintf(os.Stderr, "loaded %d triples in %v; serving on %s\n",
 		db.NumTriples(), time.Since(start).Round(time.Millisecond), *addr)
-
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: newHandler(db, parj.QueryOptions{
-			Threads:       *threads,
-			Timeout:       *timeout,
-			MaxResultRows: *maxRows,
-			MemoryBudget:  *memBudget,
-		}),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
 
 	done := make(chan struct{})
 	go func() {
@@ -89,6 +103,7 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Fprintln(os.Stderr, "parj-server: draining in-flight queries...")
+		state.startDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -98,12 +113,24 @@ func main() {
 		}
 	}()
 
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "parj-server:", err)
 		os.Exit(1)
 	}
 	<-done
 }
+
+// serverState tracks the serving lifecycle: the store appears once loading
+// finishes, and draining flips readiness off while in-flight work drains.
+type serverState struct {
+	db       atomic.Pointer[parj.Store]
+	draining atomic.Bool
+}
+
+func (s *serverState) setStore(db *parj.Store) { s.db.Store(db) }
+func (s *serverState) startDrain()             { s.draining.Store(true) }
+func (s *serverState) store() *parj.Store      { return s.db.Load() }
+func (s *serverState) ready() bool             { return s.db.Load() != nil && !s.draining.Load() }
 
 // queryResponse is the JSON shape of a successful /query call.
 type queryResponse struct {
@@ -117,12 +144,25 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// newHandler wires the serving mux for db; split from main so tests can
-// drive it through httptest without a process or sockets.
+// newHandler wires the serving mux for an already-loaded db; split from
+// main so tests can drive it through httptest without a process or sockets.
 func newHandler(db *parj.Store, base parj.QueryOptions) http.Handler {
+	state := &serverState{}
+	state.setStore(db)
+	return newStateHandler(state, base)
+}
+
+// newStateHandler wires the mux over the serving lifecycle: before the
+// store is loaded, /query sheds with 503 and /readyz reports not-ready.
+func newStateHandler(state *serverState, base parj.QueryOptions) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		db := state.store()
+		if db == nil {
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is still loading"))
+			return
+		}
 		src, err := querySource(r)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -150,12 +190,27 @@ func newHandler(db *parj.Store, base parj.QueryOptions) http.Handler {
 	})
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var triples, inflight int64
+		if db := state.store(); db != nil {
+			triples = int64(db.NumTriples())
+			inflight = int64(db.InFlightQueries())
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
 			"status":   "ok",
-			"triples":  db.NumTriples(),
-			"inflight": db.InFlightQueries(),
+			"triples":  triples,
+			"inflight": inflight,
+			"ready":    state.ready(),
 		})
+	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !state.ready() {
+			writeError(w, http.StatusServiceUnavailable, errors.New("not ready"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"ready": true})
 	})
 
 	return mux

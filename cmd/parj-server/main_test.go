@@ -192,6 +192,56 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestReadyzLifecycle walks the serving lifecycle: not-ready while the
+// store loads (queries shed with 503 + Retry-After), ready after load,
+// not-ready again the moment draining starts.
+func TestReadyzLifecycle(t *testing.T) {
+	state := &serverState{}
+	srv := httptest.NewServer(newStateHandler(state, parj.QueryOptions{}))
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while loading = %d, want 503", resp.StatusCode)
+	}
+	resp := get("/query?query=" + url.QueryEscape(`SELECT ?a ?b WHERE { ?a <p> ?b }`))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query while loading = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 while loading missing Retry-After")
+	}
+	// Liveness stays 200 throughout: the process is up, just not serving.
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while loading = %d, want 200", resp.StatusCode)
+	}
+
+	state.setStore(testDB(t, 5, parj.DBOptions{}))
+	if resp := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after load = %d, want 200", resp.StatusCode)
+	}
+	if resp := get("/query?query=" + url.QueryEscape(`SELECT ?a ?b WHERE { ?a <p> ?b }`)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after load = %d, want 200", resp.StatusCode)
+	}
+
+	state.startDrain()
+	if resp := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", resp.StatusCode)
+	}
+}
+
 func TestStatusForTaxonomy(t *testing.T) {
 	cases := []struct {
 		err  error

@@ -15,7 +15,6 @@
 package cluster
 
 import (
-	"fmt"
 	"sync"
 
 	"parj/internal/core"
@@ -75,12 +74,9 @@ func (c *Cluster) Execute(plan *optimizer.Plan, silent bool) (*Result, error) {
 	if plan.Empty {
 		return res, nil
 	}
-	if plan.Distinct || plan.Limit > 0 {
-		// DISTINCT/LIMIT need coordinator-side post-processing that the
-		// single-node engine already implements; a production cluster
-		// would dedup at the coordinator. Keep the demo honest and simple.
-		return nil, fmt.Errorf("cluster: DISTINCT and LIMIT are evaluated on a single node; use core.Execute")
-	}
+	// DISTINCT needs the rows at the coordinator to dedup across nodes,
+	// even when the caller only wants a count.
+	nodeSilent := silent && !plan.Distinct
 
 	// Build one sub-execution per node by letting each node run the
 	// single-machine engine over a node-specific shard range. Sharding is
@@ -101,7 +97,7 @@ func (c *Cluster) Execute(plan *optimizer.Plan, silent bool) (*Result, error) {
 			r, err := core.ExecuteShardRange(c.st, plan, core.Options{
 				Threads:  c.nodes * c.tpn,
 				Strategy: c.strat,
-				Silent:   silent,
+				Silent:   nodeSilent,
 			}, n*c.tpn, (n+1)*c.tpn)
 			outCh <- nodeOut{node: n, res: r, err: err}
 		}(n)
@@ -117,15 +113,42 @@ func (c *Cluster) Execute(plan *optimizer.Plan, silent bool) (*Result, error) {
 		}
 		collected[o.node] = o.res
 	}
-	for n, r := range collected {
-		if r == nil {
-			continue
+	// Each node already applied DISTINCT and LIMIT to its own range; the
+	// coordinator repeats exactly the same compaction on the merged rows,
+	// which yields the global answer: min(LIMIT, |distinct global rows|).
+	if !nodeSilent {
+		var rows [][]uint32
+		for n, r := range collected {
+			if r == nil {
+				continue
+			}
+			res.PerNode[n] = r.Count
+			res.Stats.Add(r.Stats)
+			rows = append(rows, r.Rows...)
 		}
-		res.Count += r.Count
-		res.PerNode[n] = r.Count
-		res.Stats.Add(r.Stats)
+		if plan.Distinct {
+			rows = core.DedupRows(rows)
+		}
+		if plan.Limit > 0 && len(rows) > plan.Limit {
+			rows = rows[:plan.Limit]
+		}
+		res.Count = int64(len(rows))
 		if !silent {
-			res.Rows = append(res.Rows, r.Rows...)
+			res.Rows = rows
+		}
+	} else {
+		for n, r := range collected {
+			if r == nil {
+				continue
+			}
+			res.Count += r.Count
+			res.PerNode[n] = r.Count
+			res.Stats.Add(r.Stats)
+		}
+		// Every node truncated its own count to LIMIT, so capping the sum
+		// gives exactly min(LIMIT, global count).
+		if plan.Limit > 0 && res.Count > int64(plan.Limit) {
+			res.Count = int64(plan.Limit)
 		}
 	}
 	return res, nil

@@ -43,9 +43,6 @@ func TestClusterMatchesSingleMachine(t *testing.T) {
 	f := lubmFixture(t)
 	for _, q := range lubm.Queries() {
 		plan := f.plan(t, q.SPARQL)
-		if plan.Distinct || plan.Limit > 0 {
-			continue
-		}
 		single, err := core.Execute(f.st, plan, core.Options{Threads: 6, Silent: true})
 		if err != nil {
 			t.Fatal(err)
@@ -106,15 +103,51 @@ func TestClusterShardBalance(t *testing.T) {
 	}
 }
 
-func TestClusterRejectsDistinctAndLimit(t *testing.T) {
+// TestClusterDistinctAndLimit checks the coordinator-side gather phase:
+// DISTINCT dedups across node boundaries and LIMIT truncates to exactly
+// min(LIMIT, global), for every silent/row combination.
+func TestClusterDistinctAndLimit(t *testing.T) {
 	f := lubmFixture(t)
-	c := New(f.st, Options{Nodes: 2})
-	for _, src := range []string{
-		`SELECT DISTINCT ?x WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`,
+	cases := []string{
+		`SELECT DISTINCT ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`,
 		`SELECT ?x WHERE { ?x ` + lubm.PredTakesCourse + ` ?y } LIMIT 5`,
-	} {
-		if _, err := c.Execute(f.plan(t, src), true); err == nil {
-			t.Errorf("%s: accepted, want error", src)
+		`SELECT ?x WHERE { ?x ` + lubm.PredTakesCourse + ` ?y } LIMIT 1000000`,
+		`SELECT DISTINCT ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y } LIMIT 7`,
+		`SELECT ?x WHERE { ?x ` + lubm.PredTakesCourse + ` ?y } LIMIT 0`,
+	}
+	for _, src := range cases {
+		plan := f.plan(t, src)
+		single, err := core.Execute(f.st, plan, core.Options{Threads: 6, Silent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nodes := range []int{1, 2, 3} {
+			c := New(f.st, Options{Nodes: nodes, ThreadsPerNode: 2})
+			got, err := c.Count(plan)
+			if err != nil {
+				t.Fatalf("%s nodes=%d: %v", src, nodes, err)
+			}
+			if got != single.Count {
+				t.Errorf("%s nodes=%d: cluster count %d != single %d", src, nodes, got, single.Count)
+			}
+			res, err := c.Execute(plan, false)
+			if err != nil {
+				t.Fatalf("%s nodes=%d rows: %v", src, nodes, err)
+			}
+			if int64(len(res.Rows)) != single.Count || res.Count != single.Count {
+				t.Errorf("%s nodes=%d: gathered %d rows (count %d), want %d",
+					src, nodes, len(res.Rows), res.Count, single.Count)
+			}
+			if plan.Distinct {
+				seen := map[string]bool{}
+				for _, row := range res.Rows {
+					k := fmt.Sprint(row)
+					if seen[k] {
+						t.Errorf("%s nodes=%d: duplicate row %v after gather", src, nodes, row)
+					}
+					seen[k] = true
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,551 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parj/internal/core"
+	"parj/internal/governance"
+	"parj/internal/remote"
+	"parj/internal/resilience"
+	"parj/internal/search"
+	"parj/internal/sparql"
+)
+
+// Policy decides how the coordinator degrades when a shard cannot be
+// served by any replica.
+type Policy int
+
+const (
+	// FailFast cancels the whole query on the first shard failure and
+	// returns a typed error — the strict default.
+	FailFast Policy = iota
+	// Partial returns the rows from the shards that did answer, with
+	// RemoteResult.Completeness reporting the served fraction. DISTINCT and
+	// LIMIT stay correct on the served subset; counts are lower bounds.
+	Partial
+)
+
+func (p Policy) String() string {
+	if p == Partial {
+		return "partial"
+	}
+	return "fail-fast"
+}
+
+// RemoteOptions configures a networked coordinator.
+type RemoteOptions struct {
+	// Replicas[s] lists the endpoint base URLs that can serve shard group s
+	// (every node is a full replica; the groups partition the global shard
+	// range). Required, each group non-empty.
+	Replicas [][]string
+	// ThreadsPerShard is each node's local worker count per request
+	// (default 1); the global sharding is len(Replicas)×ThreadsPerShard.
+	ThreadsPerShard int
+	// Strategy is the probe strategy every node uses.
+	Strategy core.Strategy
+	// Entailment selects RDFS-aware planning on the nodes.
+	Entailment bool
+
+	// ShardTimeout bounds one attempt against one replica (0 = no
+	// per-attempt deadline beyond the caller's context).
+	ShardTimeout time.Duration
+	// MaxAttempts caps attempts per shard across its replicas
+	// (default 2×replicas).
+	MaxAttempts int
+	// Backoff paces sequential retries (zero value = 10ms base, 1s cap).
+	Backoff resilience.Backoff
+	// Seed drives retry jitter; a fixed seed makes schedules reproducible.
+	Seed int64
+
+	// HedgeAfter launches a second attempt on the next replica when the
+	// first is still pending after this delay (0 disables hedging). When
+	// HedgeQuantile is also set and enough latencies have been observed,
+	// the delay adapts to that quantile instead.
+	HedgeAfter    time.Duration
+	HedgeQuantile float64
+
+	// Policy selects FailFast (default) or Partial degradation.
+	Policy Policy
+	// Breaker configures the per-endpoint circuit breakers.
+	Breaker resilience.BreakerOptions
+	// HealthInterval enables background health probing of every endpoint
+	// (0 = disabled); unhealthy replicas are deprioritized, not excluded.
+	HealthInterval time.Duration
+	// Clock injects time for retries, hedging and breakers (nil = wall
+	// clock). Tests pass a FakeClock to make every timer deterministic.
+	Clock resilience.Clock
+
+	// MaxResultRows / MemoryBudget forward per-query governance budgets to
+	// every node (0 = unlimited).
+	MaxResultRows int64
+	MemoryBudget  int64
+}
+
+// ShardError records which shard failed and why; Unwrap exposes the cause
+// so errors.Is sees the governance taxonomy through it.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// RemoteResult is the coordinator-side outcome of a distributed query.
+type RemoteResult struct {
+	// Vars names the projected columns.
+	Vars []string
+	// Rows holds the gathered, dictionary-encoded rows (nil in silent mode).
+	Rows [][]uint32
+	// Count is the number of result rows after coordinator-side DISTINCT
+	// and LIMIT.
+	Count int64
+	// Stats aggregates probe statistics across all shards.
+	Stats search.Stats
+	// PerShard reports each shard group's row contribution (pre-merge).
+	PerShard []int64
+	// Completeness is the fraction of shard groups that answered (1 under
+	// FailFast success; may be lower under Partial).
+	Completeness float64
+	// ShardErrors, indexed by shard group, is non-nil where a group failed
+	// (only populated under Partial; FailFast returns the error instead).
+	ShardErrors []error
+	// Attempts counts requests actually sent, across all shards, retries
+	// and hedges — 2×shards on a healthy cluster means hedging fired.
+	Attempts int64
+}
+
+// Remote is a fault-tolerant coordinator over networked shard nodes. It
+// fans a query out to one replica per shard group, retries and hedges
+// around slow or failed replicas, trips per-endpoint circuit breakers, and
+// merges the shard results with coordinator-side DISTINCT/LIMIT.
+type Remote struct {
+	opts     RemoteOptions
+	clients  [][]*remote.Client
+	breakers map[string]*resilience.Breaker
+	health   *resilience.HealthChecker
+	tracker  *resilience.LatencyTracker
+	jitter   *resilience.Jitter
+	clock    resilience.Clock
+}
+
+// NewRemote builds a coordinator. Close must be called to release clients
+// and the health checker.
+func NewRemote(opts RemoteOptions) (*Remote, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, errors.New("cluster: no shard groups configured")
+	}
+	for s, reps := range opts.Replicas {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("cluster: shard group %d has no replicas", s)
+		}
+	}
+	if opts.ThreadsPerShard <= 0 {
+		opts.ThreadsPerShard = 1
+	}
+	if opts.Clock == nil {
+		opts.Clock = resilience.RealClock{}
+	}
+	r := &Remote{
+		opts:     opts,
+		breakers: make(map[string]*resilience.Breaker),
+		tracker:  resilience.NewLatencyTracker(64),
+		jitter:   resilience.NewJitter(opts.Seed),
+		clock:    opts.Clock,
+	}
+	probeClients := make(map[string]*remote.Client)
+	var endpoints []string
+	for _, reps := range opts.Replicas {
+		row := make([]*remote.Client, len(reps))
+		for i, ep := range reps {
+			row[i] = remote.NewClient(ep, 0)
+			if _, seen := r.breakers[ep]; !seen {
+				r.breakers[ep] = resilience.NewBreaker(opts.Clock, opts.Breaker)
+				probeClients[ep] = row[i]
+				endpoints = append(endpoints, ep)
+			}
+		}
+		r.clients = append(r.clients, row)
+	}
+	if opts.HealthInterval > 0 {
+		r.health = resilience.NewHealthChecker(opts.Clock, opts.HealthInterval, endpoints,
+			func(ctx context.Context, ep string) error {
+				return probeClients[ep].Health(ctx)
+			})
+	}
+	return r, nil
+}
+
+// Close stops the health checker and releases idle connections.
+func (r *Remote) Close() {
+	r.health.Close()
+	for _, row := range r.clients {
+		for _, c := range row {
+			c.Close()
+		}
+	}
+}
+
+// Shards reports the number of shard groups.
+func (r *Remote) Shards() int { return len(r.opts.Replicas) }
+
+// Execute runs query across the cluster. The coordinator parses the query
+// locally only to learn DISTINCT/LIMIT for the gather phase; planning
+// happens on the nodes against their replicas.
+func (r *Remote) Execute(ctx context.Context, query string, silent bool) (*RemoteResult, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	S := len(r.opts.Replicas)
+	total := S * r.opts.ThreadsPerShard
+	// DISTINCT needs the actual rows at the coordinator to dedup globally,
+	// even when the caller only wants a count.
+	wireSilent := silent && !q.Distinct
+
+	base := remote.ExecRequest{
+		Query:         query,
+		Entailment:    r.opts.Entailment,
+		Strategy:      int(r.opts.Strategy),
+		TotalShards:   total,
+		Silent:        wireSilent,
+		MaxResultRows: r.opts.MaxResultRows,
+		MemoryBudget:  r.opts.MemoryBudget,
+	}
+	if r.opts.ShardTimeout > 0 {
+		base.TimeoutMS = r.opts.ShardTimeout.Milliseconds()
+	}
+
+	groupCtx, cancelGroup := context.WithCancel(ctx)
+	defer cancelGroup()
+
+	type shardOut struct {
+		resp *remote.ExecResponse
+		err  error
+	}
+	outs := make([]shardOut, S)
+	var attempts atomic.Int64
+	var wg sync.WaitGroup
+	var failFastOnce sync.Once
+	for s := 0; s < S; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			req := base
+			req.ShardFrom = s * r.opts.ThreadsPerShard
+			req.ShardTo = (s + 1) * r.opts.ThreadsPerShard
+			resp, err := r.execShard(groupCtx, s, &req, &attempts)
+			outs[s] = shardOut{resp: resp, err: err}
+			if err != nil && r.opts.Policy == FailFast {
+				failFastOnce.Do(cancelGroup)
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	res := &RemoteResult{
+		PerShard:    make([]int64, S),
+		ShardErrors: make([]error, S),
+		Attempts:    attempts.Load(),
+	}
+	served := 0
+	var firstErr error
+	for s, o := range outs {
+		if o.err != nil {
+			se := &ShardError{Shard: s, Err: o.err}
+			res.ShardErrors[s] = se
+			// Prefer the originating failure over peers' cancellations
+			// triggered by our own FailFast group cancel.
+			if firstErr == nil || (errors.Is(firstErr, governance.ErrCanceled) && !errors.Is(o.err, governance.ErrCanceled)) {
+				firstErr = se
+			}
+			continue
+		}
+		served++
+		if res.Vars == nil {
+			res.Vars = o.resp.Vars
+		}
+		res.PerShard[s] = o.resp.Count
+		res.Stats.Add(o.resp.Stats)
+	}
+	res.Completeness = float64(served) / float64(S)
+	if r.opts.Policy == FailFast && firstErr != nil {
+		return nil, firstErr
+	}
+	if served == 0 {
+		if firstErr == nil {
+			firstErr = errors.New("cluster: no shards served")
+		}
+		return res, firstErr
+	}
+
+	// Gather phase, in shard order for determinism. Every shard has
+	// already applied DISTINCT and LIMIT locally; the coordinator repeats
+	// exactly the same compaction on the merged rows, which yields the
+	// global answer (min(LIMIT, |distinct global rows|)).
+	if !wireSilent {
+		var rows [][]uint32
+		for _, o := range outs {
+			if o.err == nil {
+				rows = append(rows, o.resp.Rows...)
+			}
+		}
+		if q.Distinct {
+			rows = core.DedupRows(rows)
+		}
+		if q.HasLimit && len(rows) > q.Limit {
+			rows = rows[:q.Limit]
+		}
+		res.Count = int64(len(rows))
+		if !silent {
+			res.Rows = rows
+		}
+	} else {
+		for _, o := range outs {
+			if o.err == nil {
+				res.Count += o.resp.Count
+			}
+		}
+		// Each shard already truncated its count to LIMIT, so the capped
+		// sum equals min(LIMIT, global count).
+		if q.HasLimit && res.Count > int64(q.Limit) {
+			res.Count = int64(q.Limit)
+		}
+	}
+	return res, nil
+}
+
+// Count is Execute in silent mode.
+func (r *Remote) Count(ctx context.Context, query string) (int64, error) {
+	res, err := r.Execute(ctx, query, true)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// replicaOrder returns the replica indices for shard s, healthy replicas
+// first, each half rotated by the shard index so concurrent shards spread
+// across replicas instead of all hammering replica 0.
+func (r *Remote) replicaOrder(s int) []int {
+	reps := r.opts.Replicas[s]
+	var healthy, down []int
+	for i := range reps {
+		if r.health.Healthy(reps[i]) {
+			healthy = append(healthy, i)
+		} else {
+			down = append(down, i)
+		}
+	}
+	rotate := func(xs []int) []int {
+		if len(xs) < 2 {
+			return xs
+		}
+		k := s % len(xs)
+		return append(xs[k:], xs[:k]...)
+	}
+	return append(rotate(healthy), rotate(down)...)
+}
+
+// hedgeDelay decides the current hedging delay: the configured latency
+// quantile once the tracker has warmed up, else the static HedgeAfter.
+// Zero disables hedging.
+func (r *Remote) hedgeDelay() time.Duration {
+	if r.opts.HedgeQuantile > 0 {
+		if q, ok := r.tracker.Quantile(r.opts.HedgeQuantile); ok && q > 0 {
+			return q
+		}
+	}
+	return r.opts.HedgeAfter
+}
+
+// attemptOut is one replica attempt's outcome.
+type attemptOut struct {
+	endpoint string
+	resp     *remote.ExecResponse
+	err      error
+	elapsed  time.Duration
+}
+
+// execShard serves one shard group: it walks the shard's replica order,
+// retrying retryable failures with jittered backoff, hedging a second
+// attempt when the first is slow, and consulting each endpoint's circuit
+// breaker before sending. The first success wins; pending siblings are
+// canceled and their breaker slots released.
+func (r *Remote) execShard(ctx context.Context, s int, req *remote.ExecRequest, attempts *atomic.Int64) (*remote.ExecResponse, error) {
+	order := r.replicaOrder(s)
+	maxAttempts := r.opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 2 * len(order)
+	}
+
+	attemptCtx, cancelAttempts := context.WithCancel(ctx)
+	defer cancelAttempts()
+	results := make(chan attemptOut, maxAttempts)
+	var wg sync.WaitGroup
+	launched := 0
+	pending := 0
+
+	// launch sends req to the next replica whose breaker admits it.
+	launch := func() bool {
+		for probe := 0; probe < len(order); probe++ {
+			rep := order[launched%len(order)]
+			launched++
+			ep := r.opts.Replicas[s][rep]
+			if !r.breakers[ep].Allow() {
+				continue
+			}
+			pending++
+			attempts.Add(1)
+			client := r.clients[s][rep]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// The per-attempt deadline is enforced client-side too: a
+				// black-holed replica (accepted connection, no bytes) must
+				// not pin the attempt past its ShardTimeout.
+				actx := attemptCtx
+				if r.opts.ShardTimeout > 0 {
+					var cancel context.CancelFunc
+					actx, cancel = context.WithTimeout(attemptCtx, r.opts.ShardTimeout)
+					defer cancel()
+				}
+				start := r.clock.Now()
+				resp, err := client.Exec(actx, req)
+				results <- attemptOut{endpoint: ep, resp: resp, err: err, elapsed: r.clock.Now().Sub(start)}
+			}()
+			return true
+		}
+		return false
+	}
+
+	// settle reports an attempt's outcome to its breaker. Attempts that
+	// died because we canceled them are abandoned, not failed.
+	settle := func(o attemptOut, abandoned bool) {
+		br := r.breakers[o.endpoint]
+		switch {
+		case o.err == nil:
+			br.Success()
+		case abandoned && !remote.NodeFault(o.err):
+			br.Abandon()
+		case remote.NodeFault(o.err):
+			br.Failure()
+		default:
+			br.Abandon()
+		}
+	}
+	// finish cancels outstanding attempts, waits for them, and settles
+	// their breaker slots, so no goroutine or probe slot outlives the call.
+	finish := func() {
+		cancelAttempts()
+		go func() { wg.Wait(); close(results) }()
+		for o := range results {
+			settle(o, true)
+		}
+	}
+
+	if !launch() {
+		finish()
+		return nil, fmt.Errorf("cluster: shard %d: all replica breakers open: %w", s, governance.ErrOverloaded)
+	}
+	hedge := r.hedgeDelay()
+	var hedgeCh <-chan time.Time
+	if hedge > 0 && launched < maxAttempts {
+		hedgeCh = r.clock.After(hedge)
+	}
+
+	retries := 0
+	var lastErr error
+	for pending > 0 {
+		select {
+		case o := <-results:
+			pending--
+			if o.err == nil {
+				settle(o, false)
+				r.tracker.Record(o.elapsed)
+				finish()
+				return o.resp, nil
+			}
+			// The attempt failed. Distinguish "this replica hit its own
+			// ShardTimeout" (retryable elsewhere) from "the caller's
+			// context expired" (fatal).
+			timedOut := attemptTimedOut(o.err, ctx)
+			settle(o, ctx.Err() != nil)
+			if ctx.Err() != nil {
+				finish()
+				return nil, governance.CtxError(ctx)
+			}
+			lastErr = o.err
+			if !remote.Retryable(o.err) && !timedOut {
+				finish()
+				return nil, o.err
+			}
+			if launched >= maxAttempts {
+				continue // no budget to relaunch; drain any sibling
+			}
+			if pending > 0 {
+				continue // a hedge is still running; let it race
+			}
+			// Sole attempt failed: back off, then try the next replica.
+			if err := resilience.Sleep(ctx, r.clock, r.opts.Backoff.Delay(retries, r.jitter)); err != nil {
+				finish()
+				return nil, governance.CtxError(ctx)
+			}
+			retries++
+			if !launch() {
+				finish()
+				return nil, fmt.Errorf("cluster: shard %d: all replica breakers open: %w", s, governance.ErrOverloaded)
+			}
+			if hedgeCh == nil && hedge > 0 && launched < maxAttempts {
+				hedgeCh = r.clock.After(hedge)
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			if pending == 1 && launched < maxAttempts {
+				launch()
+			}
+		case <-ctx.Done():
+			finish()
+			return nil, governance.CtxError(ctx)
+		}
+	}
+
+	finish()
+	if lastErr == nil {
+		lastErr = governance.ErrOverloaded
+	}
+	if attemptTimedOut(lastErr, ctx) {
+		return nil, fmt.Errorf("cluster: shard %d: %d attempts timed out: %w", s, launched, governance.ErrDeadlineExceeded)
+	}
+	if !errorsHasGovernance(lastErr) {
+		return nil, fmt.Errorf("cluster: shard %d unavailable after %d attempts: %v: %w", s, launched, lastErr, governance.ErrOverloaded)
+	}
+	return nil, fmt.Errorf("cluster: shard %d failed after %d attempts: %w", s, launched, lastErr)
+}
+
+// attemptTimedOut reports whether err is a per-attempt deadline (the
+// replica was slow) rather than the caller's own context expiring.
+func attemptTimedOut(err error, callerCtx context.Context) bool {
+	if callerCtx.Err() != nil {
+		return false
+	}
+	var te *remote.TransportError
+	if errors.As(err, &te) {
+		return errors.Is(te.Err, context.DeadlineExceeded)
+	}
+	return errors.Is(err, governance.ErrDeadlineExceeded)
+}
+
+// errorsHasGovernance reports whether err already unwraps to a typed
+// governance sentinel, so the final wrap preserves rather than re-tags it.
+func errorsHasGovernance(err error) bool {
+	return errors.Is(err, governance.ErrOverloaded) ||
+		errors.Is(err, governance.ErrDeadlineExceeded) ||
+		errors.Is(err, governance.ErrBudgetExceeded) ||
+		errors.Is(err, governance.ErrCanceled)
+}

@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"parj/internal/core"
+	"parj/internal/governance"
+	"parj/internal/lubm"
+	"parj/internal/remote"
+	"parj/internal/resilience"
+	"parj/internal/resilience/chaos"
+	"parj/internal/stats"
+	"parj/internal/store"
+	"parj/internal/testutil"
+)
+
+// startNode stands up one replica node over the fixture's store on a
+// loopback HTTP server. The caller closes the returned server.
+func startNode(t *testing.T, f *fixture) (*remote.Node, *httptest.Server) {
+	t.Helper()
+	n := remote.NewNode(f.st, f.ss, remote.NodeOptions{})
+	return n, httptest.NewServer(n.Handler())
+}
+
+// deadEndpoint returns a loopback URL with nothing listening: dials are
+// refused immediately, the cleanest "node is down" a test can get.
+func deadEndpoint(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close()
+	return url
+}
+
+func hostport(srv *httptest.Server) string { return strings.TrimPrefix(srv.URL, "http://") }
+
+var remoteQueries = []string{
+	`SELECT ?x ?y ?z WHERE {
+		?x ` + lubm.PredMemberOf + ` ?z .
+		?z ` + lubm.PredSubOrgOf + ` ?y .
+		?x ` + lubm.PredUndergradFrom + ` ?y }`,
+	`SELECT ?x ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`,
+	`SELECT DISTINCT ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`,
+	`SELECT ?x WHERE { ?x ` + lubm.PredTakesCourse + ` ?y } LIMIT 5`,
+	`SELECT DISTINCT ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y } LIMIT 7`,
+}
+
+// oracle runs the query single-machine with the same global thread count
+// the coordinator will use.
+func oracle(t *testing.T, f *fixture, src string, threads int, silent bool) *core.Result {
+	t.Helper()
+	res, err := core.Execute(f.st, f.plan(t, src), core.Options{Threads: threads, Silent: silent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRemoteHealthyEquivalence: 2 shard groups × 2 replicas over loopback
+// HTTP, no faults. Every query must match the single-machine oracle
+// exactly — counts, rows and row order.
+func TestRemoteHealthyEquivalence(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	f := lubmFixture(t)
+	_, n0 := startNode(t, f)
+	defer n0.Close()
+	_, n1 := startNode(t, f)
+	defer n1.Close()
+
+	r, err := NewRemote(RemoteOptions{
+		Replicas:        [][]string{{n0.URL, n1.URL}, {n1.URL, n0.URL}},
+		ThreadsPerShard: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for _, src := range remoteQueries {
+		want := oracle(t, f, src, 4, false)
+		got, err := r.Execute(context.Background(), src, false)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got.Count != want.Count {
+			t.Errorf("%s: count %d, oracle %d", src, got.Count, want.Count)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("%s: rows diverge from oracle (%d vs %d rows)", src, len(got.Rows), len(want.Rows))
+		}
+		if got.Completeness != 1 {
+			t.Errorf("%s: completeness %v on a healthy cluster", src, got.Completeness)
+		}
+		// Silent counting must agree too.
+		cnt, err := r.Count(context.Background(), src)
+		if err != nil || cnt != want.Count {
+			t.Errorf("%s: silent count %d err %v, oracle %d", src, cnt, err, want.Count)
+		}
+	}
+}
+
+// TestRemoteChaosReplicaDeathMidQuery kills one replica per shard group
+// mid-response (the response is cut after 16 bytes, then the proxy refuses
+// all connections). The coordinator must fail over to the surviving
+// replica and still match the oracle exactly, with no goroutine leaks.
+func TestRemoteChaosReplicaDeathMidQuery(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	f := lubmFixture(t)
+	_, live0 := startNode(t, f)
+	defer live0.Close()
+	_, live1 := startNode(t, f)
+	defer live1.Close()
+
+	// One doomed proxy per shard group, placed where replicaOrder tries it
+	// first (shard s starts at replica s%R).
+	dying0, err := chaos.New(hostport(live0), chaos.CutFirstThenKill(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dying0.Close()
+	dying1, err := chaos.New(hostport(live1), chaos.CutFirstThenKill(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dying1.Close()
+
+	r, err := NewRemote(RemoteOptions{
+		Replicas: [][]string{
+			{dying0.URL(), live0.URL},  // shard 0 tries replica 0 first
+			{live1.URL, dying1.URL()},  // shard 1 tries replica 1 first
+		},
+		ThreadsPerShard: 2,
+		Backoff:         resilience.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond},
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for _, src := range remoteQueries {
+		want := oracle(t, f, src, 4, false)
+		got, err := r.Execute(context.Background(), src, false)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got.Count != want.Count || !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("%s: diverged from oracle after replica death (%d vs %d rows)",
+				src, len(got.Rows), len(want.Rows))
+		}
+		if got.Completeness != 1 {
+			t.Errorf("%s: completeness %v, want 1 (failover, not degradation)", src, got.Completeness)
+		}
+	}
+}
+
+// TestRemoteDeadShardPolicies: with R=1 and shard 1's only replica down,
+// FailFast returns a typed overload error while Partial serves shard 0's
+// half with Completeness 0.5.
+func TestRemoteDeadShardPolicies(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	f := lubmFixture(t)
+	_, live := startNode(t, f)
+	defer live.Close()
+	dead := deadEndpoint(t)
+	src := `SELECT ?x ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`
+
+	mk := func(p Policy) *Remote {
+		r, err := NewRemote(RemoteOptions{
+			Replicas:        [][]string{{live.URL}, {dead}},
+			ThreadsPerShard: 1,
+			MaxAttempts:     2,
+			Backoff:         resilience.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+			Policy:          p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	ff := mk(FailFast)
+	defer ff.Close()
+	if _, err := ff.Execute(context.Background(), src, false); !errors.Is(err, governance.ErrOverloaded) {
+		t.Fatalf("FailFast with a dead shard returned %v, want ErrOverloaded", err)
+	}
+
+	pp := mk(Partial)
+	defer pp.Close()
+	res, err := pp.Execute(context.Background(), src, false)
+	if err != nil {
+		t.Fatalf("Partial: %v", err)
+	}
+	if res.Completeness != 0.5 {
+		t.Fatalf("Partial completeness %v, want 0.5", res.Completeness)
+	}
+	if res.ShardErrors[1] == nil || !errors.Is(res.ShardErrors[1], governance.ErrOverloaded) {
+		t.Fatalf("Partial shard error %v, want ErrOverloaded for shard 1", res.ShardErrors[1])
+	}
+	if res.ShardErrors[0] != nil {
+		t.Fatalf("shard 0 should have served: %v", res.ShardErrors[0])
+	}
+	// The served half matches the oracle's shard-0 range.
+	want, err := core.ExecuteShardRange(f.st, f.plan(t, src), core.Options{Threads: 2}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want.Count || !reflect.DeepEqual(res.Rows, want.Rows) {
+		t.Fatalf("Partial served %d rows, oracle shard 0 has %d", res.Count, want.Count)
+	}
+}
+
+// TestRemoteBreakerShortCircuits: after the breaker trips on a dead
+// replica, the next query is rejected immediately with ErrOverloaded (no
+// dial), and the leak check confirms nothing is left running.
+func TestRemoteBreakerShortCircuits(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	dead := deadEndpoint(t)
+	r, err := NewRemote(RemoteOptions{
+		Replicas:    [][]string{{dead}},
+		MaxAttempts: 2,
+		Backoff:     resilience.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Breaker:     resilience.BreakerOptions{FailureThreshold: 2, OpenFor: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	src := `SELECT ?x WHERE { ?x <p> ?y }`
+
+	if _, err := r.Execute(context.Background(), src, true); !errors.Is(err, governance.ErrOverloaded) {
+		t.Fatalf("dead replica returned %v, want ErrOverloaded", err)
+	}
+	// Two failed attempts tripped the threshold-2 breaker; now the
+	// coordinator must refuse without touching the network.
+	_, err = r.Execute(context.Background(), src, true)
+	if !errors.Is(err, governance.ErrOverloaded) || !strings.Contains(err.Error(), "breakers open") {
+		t.Fatalf("open breaker returned %v, want immediate breakers-open ErrOverloaded", err)
+	}
+}
+
+// TestRemoteShardTimeout: every replica stalls longer than ShardTimeout;
+// the shard must fail with ErrDeadlineExceeded and leave nothing behind.
+func TestRemoteShardTimeout(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	f := lubmFixture(t)
+	_, live := startNode(t, f)
+	defer live.Close()
+	slow, err := chaos.New(hostport(live), func(int) chaos.Fault {
+		return chaos.Fault{Delay: 400 * time.Millisecond}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+
+	r, err := NewRemote(RemoteOptions{
+		Replicas:     [][]string{{slow.URL()}},
+		ShardTimeout: 50 * time.Millisecond,
+		MaxAttempts:  2,
+		Backoff:      resilience.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	_, err = r.Execute(context.Background(), `SELECT ?x ?y WHERE { ?x `+lubm.PredTakesCourse+` ?y }`, true)
+	if !errors.Is(err, governance.ErrDeadlineExceeded) {
+		t.Fatalf("stalled replicas returned %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+// TestRemoteHedgingWinsOverSlowReplica: the first replica stalls, the
+// hedge launched after HedgeAfter reaches the fast replica, and the query
+// succeeds quickly with exactly two attempts.
+func TestRemoteHedgingWinsOverSlowReplica(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	f := lubmFixture(t)
+	_, live := startNode(t, f)
+	defer live.Close()
+	slow, err := chaos.New(hostport(live), func(int) chaos.Fault {
+		return chaos.Fault{Delay: 300 * time.Millisecond}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+
+	r, err := NewRemote(RemoteOptions{
+		Replicas:   [][]string{{slow.URL(), live.URL}},
+		HedgeAfter: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	src := `SELECT ?x ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`
+	start := time.Now()
+	res, err := r.Execute(context.Background(), src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= 300*time.Millisecond {
+		t.Errorf("hedged query took %v — the hedge never overtook the stalled replica", elapsed)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("attempts %d, want 2 (primary + hedge)", res.Attempts)
+	}
+	if want := oracle(t, f, src, 1, true); res.Count != want.Count {
+		t.Errorf("count %d, oracle %d", res.Count, want.Count)
+	}
+}
+
+// TestRemoteHealthFailover: with background health checking on, a dead
+// first replica is demoted so even MaxAttempts=1 queries succeed once the
+// checker has swept.
+func TestRemoteHealthFailover(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	f := lubmFixture(t)
+	_, live := startNode(t, f)
+	defer live.Close()
+	dead := deadEndpoint(t)
+
+	r, err := NewRemote(RemoteOptions{
+		Replicas:       [][]string{{dead, live.URL}},
+		MaxAttempts:    1,
+		HealthInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	src := `SELECT ?x ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`
+	want := oracle(t, f, src, 1, true)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := r.Execute(context.Background(), src, true)
+		if err == nil {
+			if res.Count != want.Count {
+				t.Fatalf("count %d, oracle %d", res.Count, want.Count)
+			}
+			return // the checker demoted the dead replica
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health failover never kicked in: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRemoteCanceledContext: a caller cancel surfaces as ErrCanceled and
+// leaves no goroutines behind.
+func TestRemoteCanceledContext(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	f := lubmFixture(t)
+	_, live := startNode(t, f)
+	defer live.Close()
+
+	r, err := NewRemote(RemoteOptions{Replicas: [][]string{{live.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = r.Execute(ctx, `SELECT ?x ?y WHERE { ?x `+lubm.PredTakesCourse+` ?y }`, true)
+	if !errors.Is(err, governance.ErrCanceled) {
+		t.Fatalf("canceled context returned %v, want ErrCanceled", err)
+	}
+}
+
+// benchFixture is a larger store than the test fixture so the benchmark
+// query's execution time dominates the loopback HTTP round trip — the
+// coordinator's per-query wire cost is fixed, and the overhead criterion
+// is that it disappears into noise on realistic work.
+func benchFixture(b *testing.B) *fixture {
+	b.Helper()
+	st := store.LoadTriples(lubm.Triples(48, lubm.Config{}), store.BuildOptions{BuildPosIndex: true})
+	return &fixture{st: st, ss: stats.New(st)}
+}
+
+var benchQuery = `SELECT ?x ?y ?z WHERE {
+	?x ` + lubm.PredMemberOf + ` ?z .
+	?z ` + lubm.PredSubOrgOf + ` ?y .
+	?x ` + lubm.PredUndergradFrom + ` ?y }`
+
+// BenchmarkRemoteCoordinator measures the 1×1 loopback coordinator against
+// BenchmarkDirectExecute below — the coordinator's overhead budget.
+func BenchmarkRemoteCoordinator(b *testing.B) {
+	f := benchFixture(b)
+	n := remote.NewNode(f.st, f.ss, remote.NodeOptions{})
+	srv := httptest.NewServer(n.Handler())
+	defer srv.Close()
+	r, err := NewRemote(RemoteOptions{Replicas: [][]string{{srv.URL}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Execute(context.Background(), benchQuery, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectExecute is the single-machine baseline for
+// BenchmarkRemoteCoordinator: the same query served locally, parse and
+// plan included per iteration — the coordinator necessarily re-plans
+// each request, so a pre-built plan would understate the baseline.
+func BenchmarkDirectExecute(b *testing.B) {
+	f := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := f.plan(b, benchQuery)
+		if _, err := core.Execute(f.st, plan, core.Options{Threads: 1, Silent: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

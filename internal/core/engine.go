@@ -294,6 +294,9 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 			limit:       plan.Limit,
 			tick:        ungovernedTick,
 		}
+		if plan.Distinct && plan.Limit > 0 {
+			workers[i].seen = make(map[string]bool)
+		}
 		if governed {
 			workers[i].gate = gov.NewGate()
 			workers[i].tick = int64(gov.Interval())
@@ -346,7 +349,7 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 			rows = append(rows, w.rows...)
 		}
 		if plan.Distinct {
-			rows = dedupRows(rows)
+			rows = DedupRows(rows)
 		}
 		if plan.Limit > 0 && len(rows) > plan.Limit {
 			rows = rows[:plan.Limit]
@@ -387,15 +390,16 @@ func runShardContained(gov *governance.Governor, w *worker, sh shard) {
 	w.closeGate()
 }
 
-func dedupRows(rows [][]uint32) [][]uint32 {
+// DedupRows removes duplicate rows in place, keeping first occurrences in
+// order. It is the engine's DISTINCT compaction, exported so gather phases
+// (cluster coordinators) apply exactly the same semantics to merged
+// partial results.
+func DedupRows(rows [][]uint32) [][]uint32 {
 	seen := make(map[string]bool, len(rows))
 	var key []byte
 	out := rows[:0]
 	for _, r := range rows {
-		key = key[:0]
-		for _, v := range r {
-			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-		}
+		key = rowKey(key[:0], r)
 		k := string(key)
 		if !seen[k] {
 			seen[k] = true
@@ -403,6 +407,15 @@ func dedupRows(rows [][]uint32) [][]uint32 {
 		}
 	}
 	return out
+}
+
+// rowKey appends row's canonical byte encoding to dst — the map key both
+// DedupRows and the workers' incremental DISTINCT tracking hash on.
+func rowKey(dst []byte, row []uint32) []byte {
+	for _, v := range row {
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
 }
 
 // worker executes one shard of the first relation through the whole
@@ -422,6 +435,12 @@ type worker struct {
 	rows        [][]uint32
 	count       int64
 	limit       int
+	// seen, non-nil only under DISTINCT+LIMIT, dedups incrementally so
+	// the limit cutoff below counts distinct rows, not produced rows —
+	// stopping at `limit` produced rows could dedup to fewer than the
+	// distinct rows the shard actually holds.
+	seen    map[string]bool
+	seenKey []byte
 
 	// tick is the amortized governance countdown: every probe decrements
 	// it, and only when it reaches zero does slowTick consult the gate. For
@@ -459,6 +478,13 @@ func (w *worker) emit() bool {
 		row := make([]uint32, len(w.plan.Project))
 		for i, slot := range w.plan.Project {
 			row[i] = w.binding[slot]
+		}
+		if w.seen != nil {
+			w.seenKey = rowKey(w.seenKey[:0], row)
+			if w.seen[string(w.seenKey)] {
+				return true // duplicate: not kept, not counted toward LIMIT
+			}
+			w.seen[string(w.seenKey)] = true
 		}
 		w.rows = append(w.rows, row)
 		return w.limit == 0 || len(w.rows) < w.limit

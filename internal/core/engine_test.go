@@ -237,6 +237,52 @@ func TestDistinctAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestDistinctWithLimitCountsDistinctRows pins the LIMIT cutoff semantics
+// under DISTINCT: a worker must stop at LIMIT *distinct* rows, not LIMIT
+// produced rows — duplicates skipped by DISTINCT don't spend the budget.
+// Regression: stopping at produced rows returned fewer than
+// min(LIMIT, |distinct|) whenever duplicates landed inside the cutoff.
+func TestDistinctWithLimitCountsDistinctRows(t *testing.T) {
+	// 40 distinct departments, each with 25 members: 1000 produced rows
+	// dedup to 40. A LIMIT between 40 and 1000 must still yield all 40.
+	var triples []rdf.Triple
+	for d := 0; d < 40; d++ {
+		for s := 0; s < 25; s++ {
+			triples = append(triples, rdf.Triple{
+				S: fmt.Sprintf("<s%d_%d>", d, s),
+				P: "<memberOf>",
+				O: fmt.Sprintf("<d%d>", d),
+			})
+		}
+	}
+	f := newFixture(t, triples)
+	for _, threads := range []int{1, 2, 8} {
+		for _, tc := range []struct{ limit, want int }{
+			{500, 40}, // limit above |distinct|, below produced — the bug's window
+			{40, 40},  // limit exactly |distinct|
+			{7, 7},    // limit below |distinct|
+		} {
+			src := fmt.Sprintf(`SELECT DISTINCT ?d WHERE { ?s <memberOf> ?d } LIMIT %d`, tc.limit)
+			rows := f.run(t, src, Options{Threads: threads})
+			if len(rows) != tc.want {
+				t.Errorf("threads=%d LIMIT %d: %d distinct rows, want %d",
+					threads, tc.limit, len(rows), tc.want)
+			}
+			// Silent counting goes through the same materializing path.
+			q, _ := sparql.Parse(src)
+			plan, _ := optimizer.Optimize(q, f.st, f.stats)
+			res, err := Execute(f.st, plan, Options{Silent: true, Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != int64(tc.want) {
+				t.Errorf("threads=%d LIMIT %d: silent count %d, want %d",
+					threads, tc.limit, res.Count, tc.want)
+			}
+		}
+	}
+}
+
 func TestIndexStrategyWithoutIndexFails(t *testing.T) {
 	st := store.LoadTriples([]rdf.Triple{{S: "<a>", P: "<p>", O: "<b>"}}, store.BuildOptions{})
 	s := stats.New(st)

@@ -1,0 +1,80 @@
+package difftest
+
+import (
+	"context"
+	"net/http/httptest"
+	"time"
+
+	"parj/internal/bench"
+	"parj/internal/cluster"
+	"parj/internal/core"
+	"parj/internal/optimizer"
+	"parj/internal/remote"
+	"parj/internal/sparql"
+)
+
+// clusterConfig is the distributed-coordinator leg of the differential
+// matrix: every query also runs through cluster.Remote over a loopback
+// fleet of 2 shard groups × 2 replicas, exercising the wire protocol,
+// the fan-out/gather path and the coordinator-side DISTINCT/LIMIT merge
+// against the same oracle as the in-process engines.
+//
+// The fleet is built and torn down inside each Evaluate call so engines
+// stay leak-free no matter how the harness (or the shrinker) interleaves
+// evaluations — a RowEngine has no Close hook to defer to.
+func clusterConfig() EngineConfig {
+	return EngineConfig{
+		Name: "cluster-2x2",
+		Make: func(d *bench.Dataset) bench.RowEngine {
+			return clusterRows(d)
+		},
+	}
+}
+
+type clusterEngine struct {
+	d *bench.Dataset
+}
+
+func clusterRows(d *bench.Dataset) bench.RowEngine {
+	return clusterEngine{d}
+}
+
+func (e clusterEngine) Name() string { return "cluster-2x2" }
+
+func (e clusterEngine) Evaluate(q *sparql.Query) ([][]string, error) {
+	st, ss := e.d.Store()
+	// Two loopback replicas over the same store; both shard groups list
+	// both of them (full replication — any replica serves any shard
+	// range), with the preferred order flipped so each group's first
+	// attempt lands on a different replica.
+	n1 := remote.NewNode(st, ss, remote.NodeOptions{})
+	n2 := remote.NewNode(st, ss, remote.NodeOptions{})
+	s1 := httptest.NewServer(n1.Handler())
+	defer s1.Close()
+	s2 := httptest.NewServer(n2.Handler())
+	defer s2.Close()
+
+	rem, err := cluster.NewRemote(cluster.RemoteOptions{
+		Replicas:        [][]string{{s1.URL, s2.URL}, {s2.URL, s1.URL}},
+		ThreadsPerShard: 2,
+		ShardTimeout:    30 * time.Second,
+		Seed:            1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rem.Close()
+
+	res, err := rem.Execute(context.Background(), sparql.Format(q), false)
+	if err != nil {
+		return nil, err
+	}
+	// The coordinator plans the same query over the same store and stats
+	// as the nodes, so its plan carries the slot metadata needed to decode
+	// the gathered dictionary-encoded rows.
+	plan, err := optimizer.OptimizeExpanded(q, st, ss, nil)
+	if err != nil {
+		return nil, err
+	}
+	return (&core.Result{Plan: plan, Rows: res.Rows}).StringRows(st), nil
+}

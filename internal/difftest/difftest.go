@@ -91,6 +91,9 @@ func Configs(workers []int) []EngineConfig {
 		// stressing the B+ tree cursor logic itself.
 		EngineConfig{Name: "btree", Make: func(d *bench.Dataset) bench.RowEngine { return d.BTreeRows(4) }},
 		EngineConfig{Name: "triad", Make: func(d *bench.Dataset) bench.RowEngine { return d.TriADRows(0) }},
+		// The distributed serving tier: a 2-shard × 2-replica loopback
+		// coordinator, diffed against the oracle like any local engine.
+		clusterConfig(),
 	)
 	return out
 }

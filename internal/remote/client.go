@@ -1,0 +1,151 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// TransportError is a network- or protocol-level failure talking to a
+// node: connection refused or reset, a response cut mid-body, or bytes
+// that don't decode as the protocol. These are exactly the failures worth
+// retrying on a replica and counting against the node's circuit breaker.
+type TransportError struct {
+	Endpoint string
+	Err      error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("remote: %s: %v", e.Endpoint, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Retryable reports whether err may succeed on another replica: transport
+// faults and retryable node errors qualify; deterministic node outcomes
+// (parse, plan, budget) and deadline/cancel do not.
+func Retryable(err error) bool {
+	var te *TransportError
+	if errors.As(err, &te) {
+		// A transport fault caused by the caller's own expired context is
+		// a deadline, not a node failure.
+		if errors.Is(te.Err, context.DeadlineExceeded) || errors.Is(te.Err, context.Canceled) {
+			return false
+		}
+		return true
+	}
+	var ne *NodeError
+	if errors.As(err, &ne) {
+		return ne.Retryable()
+	}
+	return false
+}
+
+// NodeFault reports whether err should count against the node's circuit
+// breaker: transport faults and node-internal failures (panic, overload)
+// do; semantic outcomes the node computed correctly (parse, plan, budget,
+// deadline) do not.
+func NodeFault(err error) bool {
+	var te *TransportError
+	if errors.As(err, &te) {
+		return !errors.Is(te.Err, context.DeadlineExceeded) && !errors.Is(te.Err, context.Canceled)
+	}
+	var ne *NodeError
+	if errors.As(err, &ne) {
+		return ne.Kind == KindPanic || ne.Kind == KindInternal || ne.Kind == KindOverload
+	}
+	return false
+}
+
+// Client executes shard requests against one node endpoint.
+type Client struct {
+	endpoint string
+	hc       *http.Client
+}
+
+// NewClient wraps a node base URL (e.g. "http://10.0.0.3:7070"). Each
+// client owns its transport so a chaos-severed connection pool on one
+// replica never bleeds into another. timeout bounds a single attempt at
+// the transport level as a backstop; per-attempt deadlines normally come
+// from the request context.
+func NewClient(endpoint string, timeout time.Duration) *Client {
+	return &Client{
+		endpoint: endpoint,
+		hc: &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 4,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}
+}
+
+// Endpoint returns the node's base URL.
+func (c *Client) Endpoint() string { return c.endpoint }
+
+// Close releases idle connections.
+func (c *Client) Close() {
+	if t, ok := c.hc.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// Exec evaluates one shard range on the node.
+func (c *Client) Exec(ctx context.Context, req *ExecRequest) (*ExecResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint+ExecPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return nil, &TransportError{Endpoint: c.endpoint, Err: err}
+	}
+	defer resp.Body.Close()
+	// Reading the body can fail mid-stream (chaos cut): that's transport.
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, &TransportError{Endpoint: c.endpoint, Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var ne ErrorResponse
+		if err := json.Unmarshal(raw, &ne); err != nil || ne.Kind == "" {
+			return nil, &TransportError{Endpoint: c.endpoint,
+				Err: fmt.Errorf("status %d with undecodable error body", resp.StatusCode)}
+		}
+		return nil, &NodeError{Kind: ne.Kind, Msg: ne.Error}
+	}
+	var out ExecResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, &TransportError{Endpoint: c.endpoint, Err: fmt.Errorf("malformed response: %w", err)}
+	}
+	return &out, nil
+}
+
+// Health probes the node's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint+HealthPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return &TransportError{Endpoint: c.endpoint, Err: err}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &TransportError{Endpoint: c.endpoint, Err: fmt.Errorf("healthz status %d", resp.StatusCode)}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parj/internal/core"
+	"parj/internal/governance"
+	"parj/internal/optimizer"
+	"parj/internal/rdfs"
+	"parj/internal/sparql"
+	"parj/internal/stats"
+	"parj/internal/store"
+)
+
+// maxRequestBytes caps the /exec request body; a shard request is a query
+// plus a handful of integers, so anything bigger is hostile.
+const maxRequestBytes = 1 << 20
+
+// Node serves shard-execution requests over one full replica of the store.
+// It is the handler side of cmd/parj-node and of the loopback test
+// clusters; construct with NewNode and mount Handler on an HTTP server.
+type Node struct {
+	st *store.Store
+	ss *stats.Stats
+
+	hierOnce sync.Once
+	hier     *rdfs.Hierarchy
+
+	// ready gates /exec and /readyz: a node answers queries only after its
+	// replica is loaded and before draining starts.
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// limiter sheds load when too many shard requests execute at once;
+	// nil admits everything.
+	limiter *governance.Limiter
+
+	// ExecStarted, when non-nil, runs at the start of every /exec request
+	// — chaos tests use it to trigger faults mid-query. Never set in
+	// production.
+	ExecStarted func(req *ExecRequest)
+}
+
+// NodeOptions configures a Node.
+type NodeOptions struct {
+	// MaxConcurrent caps concurrent /exec evaluations (0 = unlimited);
+	// excess requests shed with 503 after AdmissionWait.
+	MaxConcurrent int
+	AdmissionWait time.Duration
+	// NotReady starts the node in not-ready state (cmd/parj-node flips it
+	// once the replica is loaded); the zero value is ready immediately,
+	// which is what in-process tests want.
+	NotReady bool
+}
+
+// NewNode wraps a loaded replica. ss may be nil (computed from st).
+func NewNode(st *store.Store, ss *stats.Stats, opts NodeOptions) *Node {
+	if ss == nil {
+		ss = stats.New(st)
+	}
+	n := &Node{
+		st:      st,
+		ss:      ss,
+		limiter: governance.NewLimiter(opts.MaxConcurrent, opts.AdmissionWait),
+	}
+	n.ready.Store(!opts.NotReady)
+	return n
+}
+
+// SetReady flips the readiness gate (used by cmd/parj-node after load).
+func (n *Node) SetReady(ready bool) { n.ready.Store(ready) }
+
+// StartDrain marks the node as draining: /readyz reports not-ready so a
+// fronting load balancer stops routing, while in-flight requests finish.
+func (n *Node) StartDrain() { n.draining.Store(true) }
+
+// Ready reports whether the node currently accepts queries.
+func (n *Node) Ready() bool { return n.ready.Load() && !n.draining.Load() }
+
+// Store exposes the replica (coordinator-side decode in loopback setups).
+func (n *Node) Store() *store.Store { return n.st }
+
+func (n *Node) hierarchy() *rdfs.Hierarchy {
+	n.hierOnce.Do(func() { n.hier = rdfs.New(n.st, "", "", "") })
+	return n.hier
+}
+
+// Handler returns the node's HTTP mux: ExecPath, HealthPath, ReadyPath.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(ExecPath, n.handleExec)
+	mux.HandleFunc(HealthPath, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"triples":  n.st.NumTriples(),
+			"inflight": n.limiter.InFlight(),
+			"ready":    n.Ready(),
+		})
+	})
+	mux.HandleFunc(ReadyPath, func(w http.ResponseWriter, r *http.Request) {
+		if !n.Ready() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	})
+	return mux
+}
+
+func (n *Node) handleExec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, KindInternal, errors.New("POST required"))
+		return
+	}
+	if !n.Ready() {
+		writeError(w, http.StatusServiceUnavailable, KindOverload, errors.New("node not ready"))
+		return
+	}
+	var req ExecRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, KindParse, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if hook := n.ExecStarted; hook != nil {
+		hook(&req)
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	if err := n.limiter.Acquire(ctx); err != nil {
+		status, kind := statusKind(err)
+		writeError(w, status, kind, err)
+		return
+	}
+	defer n.limiter.Release()
+
+	resp, err := n.exec(ctx, &req)
+	if err != nil {
+		status, kind := statusKind(err)
+		writeError(w, status, kind, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// exec evaluates one shard range. Exported logic is kept off the HTTP
+// types so loopback tests can call it directly.
+func (n *Node) exec(ctx context.Context, req *ExecRequest) (*ExecResponse, error) {
+	q, err := sparql.Parse(req.Query)
+	if err != nil {
+		return nil, &parseError{err}
+	}
+	var x optimizer.Expander
+	if req.Entailment {
+		x = n.hierarchy()
+	}
+	plan, err := optimizer.OptimizeExpanded(q, n.st, n.ss, x)
+	if err != nil {
+		return nil, &planError{err}
+	}
+	if req.TotalShards <= 0 || req.ShardFrom < 0 || req.ShardTo < req.ShardFrom {
+		return nil, &planError{fmt.Errorf("invalid shard range [%d, %d) of %d", req.ShardFrom, req.ShardTo, req.TotalShards)}
+	}
+	strategy := core.Strategy(req.Strategy)
+	res, err := core.ExecuteShardRange(n.st, plan, core.Options{
+		Threads:       req.TotalShards,
+		Strategy:      strategy,
+		Silent:        req.Silent,
+		Context:       ctx,
+		MaxResultRows: req.MaxResultRows,
+		MemoryBudget:  req.MemoryBudget,
+		CheckInterval: governance.IntervalForEstimate(plan.EstResultRows()),
+	}, req.ShardFrom, req.ShardTo)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExecResponse{Count: res.Count, Vars: res.Vars, Stats: res.Stats}
+	if !req.Silent {
+		out.Rows = res.Rows
+		// DISTINCT materializes rows even under Silent inside core, but
+		// core only hands them out when !Silent — which is why the
+		// coordinator requests non-silent execution for DISTINCT plans.
+	}
+	return out, nil
+}
+
+// parseError / planError tag deterministic 400-class failures.
+type parseError struct{ err error }
+
+func (e *parseError) Error() string { return e.err.Error() }
+func (e *parseError) Unwrap() error { return e.err }
+
+type planError struct{ err error }
+
+func (e *planError) Error() string { return e.err.Error() }
+func (e *planError) Unwrap() error { return e.err }
+
+// statusKind maps a node-side error onto (HTTP status, wire kind).
+func statusKind(err error) (int, string) {
+	var pe *parseError
+	var le *planError
+	var panicErr *governance.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return http.StatusBadRequest, KindParse
+	case errors.As(err, &le):
+		return http.StatusBadRequest, KindPlan
+	case errors.Is(err, governance.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, KindDeadline
+	case errors.Is(err, governance.ErrCanceled):
+		return http.StatusGatewayTimeout, KindCanceled
+	case errors.Is(err, governance.ErrBudgetExceeded):
+		return http.StatusRequestEntityTooLarge, KindBudget
+	case errors.Is(err, governance.ErrOverloaded):
+		return http.StatusServiceUnavailable, KindOverload
+	case errors.As(err, &panicErr):
+		return http.StatusInternalServerError, KindPanic
+	default:
+		return http.StatusInternalServerError, KindInternal
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorResponse{Kind: kind, Error: err.Error()})
+}

@@ -1,0 +1,134 @@
+// Package remote implements the stdlib-only HTTP protocol between the
+// cluster coordinator and shard nodes. Every node holds a full replica of
+// the store (the paper's §6 full-replication cluster model); a request
+// names a contiguous range of the deterministic global sharding and the
+// node evaluates exactly those shards with its local workers. Because
+// sharding is a pure function of (store, plan, total shard count), any
+// replica loaded from the same snapshot produces byte-identical shard
+// results — which is what makes retries, hedging and replica failover safe.
+//
+// Wire format: JSON over HTTP. POST /exec evaluates a shard range;
+// GET /healthz is liveness; GET /readyz is readiness (load completed and
+// not draining). Rows travel dictionary-encoded (uint32 IDs): replicas
+// loaded from identical input build identical dictionaries, and the
+// coordinator decodes against its own replica.
+package remote
+
+import (
+	"fmt"
+
+	"parj/internal/governance"
+	"parj/internal/search"
+)
+
+// ExecPath is the shard-execution endpoint.
+const ExecPath = "/exec"
+
+// HealthPath is the liveness endpoint.
+const HealthPath = "/healthz"
+
+// ReadyPath is the readiness endpoint.
+const ReadyPath = "/readyz"
+
+// ExecRequest asks a node to evaluate a shard range of a query.
+type ExecRequest struct {
+	// Query is the SPARQL source text; the node parses and optimizes it
+	// against its replica. Plans are deterministic given identical
+	// replicas, so coordinator and node agree on the sharding.
+	Query string `json:"query"`
+	// Entailment selects RDFS-aware planning.
+	Entailment bool `json:"entailment,omitempty"`
+	// Strategy is the probe strategy (core.Strategy numeric value).
+	Strategy int `json:"strategy"`
+	// TotalShards is the global shard count the plan is split into
+	// (coordinator shards × threads per shard).
+	TotalShards int `json:"total_shards"`
+	// ShardFrom/ShardTo select the node's contiguous range [from, to).
+	ShardFrom int `json:"shard_from"`
+	ShardTo   int `json:"shard_to"`
+	// Silent counts rows without returning them.
+	Silent bool `json:"silent,omitempty"`
+	// TimeoutMS bounds the node-side evaluation wall clock (0 = none).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxResultRows/MemoryBudget forward the coordinator's per-query
+	// governance budgets to the node (0 = unlimited).
+	MaxResultRows int64 `json:"max_result_rows,omitempty"`
+	MemoryBudget  int64 `json:"memory_budget,omitempty"`
+}
+
+// ExecResponse carries one shard range's results back.
+type ExecResponse struct {
+	// Count is the number of result rows the range produced (after the
+	// node-local DISTINCT/LIMIT compaction core applies).
+	Count int64 `json:"count"`
+	// Vars names the projected columns.
+	Vars []string `json:"vars"`
+	// Rows holds dictionary-encoded projected rows (nil in silent mode).
+	Rows [][]uint32 `json:"rows,omitempty"`
+	// Stats aggregates probe-strategy statistics across the range.
+	Stats search.Stats `json:"stats"`
+}
+
+// Error kinds: the wire form of the governance error taxonomy. The node
+// maps engine errors to kinds; the client maps kinds back to the typed
+// sentinels so errors.Is keeps working across the network.
+const (
+	KindParse    = "parse"    // unparsable query (HTTP 400)
+	KindPlan     = "plan"     // optimizer rejection (HTTP 400)
+	KindCanceled = "canceled" // request context canceled (HTTP 504)
+	KindDeadline = "deadline" // node-side deadline expired (HTTP 504)
+	KindBudget   = "budget"   // row/memory budget exceeded (HTTP 413)
+	KindOverload = "overload" // node shedding load or not ready (HTTP 503)
+	KindPanic    = "panic"    // contained worker panic (HTTP 500)
+	KindInternal = "internal" // anything else (HTTP 500)
+)
+
+// ErrorResponse is the JSON error body.
+type ErrorResponse struct {
+	Kind  string `json:"kind"`
+	Error string `json:"error"`
+}
+
+// NodeError is a typed node-side failure reconstructed by the client. Its
+// Unwrap target is the matching governance sentinel, so callers dispatch
+// with errors.Is(err, governance.ErrDeadlineExceeded) etc. exactly as they
+// do for local execution.
+type NodeError struct {
+	Kind string
+	Msg  string
+}
+
+func (e *NodeError) Error() string {
+	return fmt.Sprintf("remote: node error (%s): %s", e.Kind, e.Msg)
+}
+
+// Unwrap maps the kind onto the governance taxonomy.
+func (e *NodeError) Unwrap() error {
+	switch e.Kind {
+	case KindCanceled:
+		return governance.ErrCanceled
+	case KindDeadline:
+		return governance.ErrDeadlineExceeded
+	case KindBudget:
+		return governance.ErrBudgetExceeded
+	case KindOverload:
+		return governance.ErrOverloaded
+	default:
+		return nil
+	}
+}
+
+// Retryable reports whether the failure may succeed on another replica (or
+// on this one later): overload and internal/panic faults are worth
+// retrying, while parse/plan/budget outcomes are deterministic and
+// deadline/cancel outcomes are bounded by the shard deadline that is
+// already lost. Transport-level errors are classified by the client, not
+// here.
+func (e *NodeError) Retryable() bool {
+	switch e.Kind {
+	case KindOverload, KindInternal, KindPanic:
+		return true
+	default:
+		return false
+	}
+}

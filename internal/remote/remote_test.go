@@ -1,0 +1,195 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"parj/internal/governance"
+	"parj/internal/rdf"
+	"parj/internal/store"
+	"parj/internal/testutil"
+)
+
+func testStore() *store.Store {
+	return store.LoadTriples([]rdf.Triple{
+		{S: "<a>", P: "<p>", O: "<b>"},
+		{S: "<b>", P: "<p>", O: "<c>"},
+		{S: "<c>", P: "<p>", O: "<a>"},
+		{S: "<a>", P: "<q>", O: "<c>"},
+	}, store.BuildOptions{})
+}
+
+func testNode(t *testing.T, opts NodeOptions) (*Node, *Client, func()) {
+	t.Helper()
+	n := NewNode(testStore(), nil, opts)
+	srv := httptest.NewServer(n.Handler())
+	return n, NewClient(srv.URL, 5 * time.Second), srv.Close
+}
+
+func TestNodeExecRoundTrip(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	_, c, stop := testNode(t, NodeOptions{})
+	defer stop()
+	defer c.Close()
+
+	resp, err := c.Exec(context.Background(), &ExecRequest{
+		Query:       `SELECT ?x ?y WHERE { ?x <p> ?y }`,
+		TotalShards: 1,
+		ShardFrom:   0,
+		ShardTo:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 3 || len(resp.Rows) != 3 {
+		t.Fatalf("count %d rows %d, want 3/3", resp.Count, len(resp.Rows))
+	}
+	if len(resp.Vars) != 2 {
+		t.Fatalf("vars %v, want [x y]", resp.Vars)
+	}
+
+	// Silent mode counts without shipping rows.
+	resp, err = c.Exec(context.Background(), &ExecRequest{
+		Query: `SELECT ?x ?y WHERE { ?x <p> ?y }`, TotalShards: 1, ShardTo: 1, Silent: true,
+	})
+	if err != nil || resp.Count != 3 || resp.Rows != nil {
+		t.Fatalf("silent: count %d rows %v err %v", resp.Count, resp.Rows, err)
+	}
+}
+
+func TestNodeShardRangeSplit(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	_, c, stop := testNode(t, NodeOptions{})
+	defer stop()
+	defer c.Close()
+
+	// The two halves of a 2-shard split must sum to the full count.
+	var total int64
+	for s := 0; s < 2; s++ {
+		resp, err := c.Exec(context.Background(), &ExecRequest{
+			Query: `SELECT ?x ?y WHERE { ?x <p> ?y }`, TotalShards: 2, ShardFrom: s, ShardTo: s + 1, Silent: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += resp.Count
+	}
+	if total != 3 {
+		t.Fatalf("shard halves sum to %d, want 3", total)
+	}
+}
+
+func TestNodeErrorTaxonomy(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	_, c, stop := testNode(t, NodeOptions{})
+	defer stop()
+	defer c.Close()
+
+	cases := []struct {
+		name      string
+		req       ExecRequest
+		kind      string
+		retryable bool
+	}{
+		{"parse", ExecRequest{Query: `SELECT WHERE`, TotalShards: 1, ShardTo: 1}, KindParse, false},
+		{"bad-range", ExecRequest{Query: `SELECT ?x WHERE { ?x <p> ?y }`, TotalShards: 0}, KindPlan, false},
+	}
+	for _, tc := range cases {
+		_, err := c.Exec(context.Background(), &tc.req)
+		var ne *NodeError
+		if !errors.As(err, &ne) || ne.Kind != tc.kind {
+			t.Fatalf("%s: got %v, want kind %s", tc.name, err, tc.kind)
+		}
+		if Retryable(err) != tc.retryable {
+			t.Errorf("%s: Retryable = %v, want %v", tc.name, Retryable(err), tc.retryable)
+		}
+	}
+
+	// Budget errors carry the governance sentinel across the wire.
+	_, err := c.Exec(context.Background(), &ExecRequest{
+		Query: `SELECT ?x ?y WHERE { ?x <p> ?y }`, TotalShards: 1, ShardTo: 1, MaxResultRows: 1,
+	})
+	if !errors.Is(err, governance.ErrBudgetExceeded) {
+		t.Fatalf("budget: got %v, want ErrBudgetExceeded through errors.Is", err)
+	}
+	if Retryable(err) || NodeFault(err) {
+		t.Error("budget exhaustion must be neither retryable nor a node fault")
+	}
+}
+
+func TestNodeReadiness(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	n, c, stop := testNode(t, NodeOptions{NotReady: true})
+	defer stop()
+	defer c.Close()
+
+	req := &ExecRequest{Query: `SELECT ?x WHERE { ?x <p> ?y }`, TotalShards: 1, ShardTo: 1, Silent: true}
+	_, err := c.Exec(context.Background(), req)
+	if !errors.Is(err, governance.ErrOverloaded) {
+		t.Fatalf("not-ready node returned %v, want ErrOverloaded", err)
+	}
+	if !Retryable(err) {
+		t.Error("not-ready must be retryable (another replica may serve)")
+	}
+
+	readyStatus := func() int {
+		resp, err := http.Get(c.Endpoint() + ReadyPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if s := readyStatus(); s != http.StatusServiceUnavailable {
+		t.Fatalf("readyz on unloaded node = %d, want 503", s)
+	}
+	n.SetReady(true)
+	if s := readyStatus(); s != http.StatusOK {
+		t.Fatalf("readyz after load = %d, want 200", s)
+	}
+	if _, err := c.Exec(context.Background(), req); err != nil {
+		t.Fatalf("exec after ready: %v", err)
+	}
+	n.StartDrain()
+	if s := readyStatus(); s != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", s)
+	}
+	// Liveness stays OK during drain: the process is healthy, just not
+	// accepting new work.
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("healthz while draining: %v", err)
+	}
+}
+
+func TestClientMalformedResponse(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"count": "not-a-number"`))
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, time.Second)
+	defer c.Close()
+	_, err := c.Exec(context.Background(), &ExecRequest{Query: "x", TotalShards: 1, ShardTo: 1})
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("malformed body returned %v, want TransportError", err)
+	}
+	if !Retryable(err) || !NodeFault(err) {
+		t.Error("malformed response must be retryable and count as a node fault")
+	}
+}
+
+func TestClientConnectionRefused(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	c := NewClient("http://127.0.0.1:1", time.Second)
+	defer c.Close()
+	_, err := c.Exec(context.Background(), &ExecRequest{Query: "x", TotalShards: 1, ShardTo: 1})
+	var te *TransportError
+	if !errors.As(err, &te) || !Retryable(err) || !NodeFault(err) {
+		t.Fatalf("refused dial returned %v; want retryable TransportError node fault", err)
+	}
+}

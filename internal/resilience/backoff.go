@@ -1,0 +1,69 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes retry delays: full jitter over an exponentially growing
+// cap (delay for attempt i is uniform in [0, min(Max, Base·Factor^i))).
+// Full jitter decorrelates retry storms across shards and coordinators —
+// deterministic given the Jitter's seed.
+type Backoff struct {
+	// Base is the cap of the first retry's delay (default 10ms).
+	Base time.Duration
+	// Max bounds the cap growth (default 1s).
+	Max time.Duration
+	// Factor multiplies the cap per attempt (default 2).
+	Factor float64
+}
+
+func (b Backoff) fill() Backoff {
+	if b.Base <= 0 {
+		b.Base = 10 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	return b
+}
+
+// Delay returns the wait before retry number attempt (0 = first retry).
+func (b Backoff) Delay(attempt int, j *Jitter) time.Duration {
+	b = b.fill()
+	cap := float64(b.Base)
+	for i := 0; i < attempt && cap < float64(b.Max); i++ {
+		cap *= b.Factor
+	}
+	if cap > float64(b.Max) {
+		cap = float64(b.Max)
+	}
+	return time.Duration(j.Float64() * cap)
+}
+
+// Jitter is a mutex-guarded seeded random source shared by concurrent
+// shard fetches. The same seed yields the same jitter sequence, which keeps
+// chaos tests reproducible.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitter returns a deterministic jitter stream for seed.
+func NewJitter(seed int64) *Jitter {
+	return &Jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns the next value in [0, 1).
+func (j *Jitter) Float64() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rng == nil {
+		j.rng = rand.New(rand.NewSource(1))
+	}
+	return j.rng.Float64()
+}

@@ -1,0 +1,60 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyTracker keeps a sliding window of observed request latencies and
+// answers quantile queries — the signal that decides when a hedged request
+// is worth sending (fire the hedge once the primary attempt has outlived
+// the recent p-quantile). Safe for concurrent use.
+type LatencyTracker struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	filled  int
+}
+
+// NewLatencyTracker returns a tracker over a window of size samples
+// (default 64).
+func NewLatencyTracker(window int) *LatencyTracker {
+	if window <= 0 {
+		window = 64
+	}
+	return &LatencyTracker{samples: make([]time.Duration, window)}
+}
+
+// Record adds one observed latency.
+func (t *LatencyTracker) Record(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.samples[t.next] = d
+	t.next = (t.next + 1) % len(t.samples)
+	if t.filled < len(t.samples) {
+		t.filled++
+	}
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) of the window, or ok=false
+// while fewer than 8 samples exist (too little signal to hedge on).
+func (t *LatencyTracker) Quantile(q float64) (d time.Duration, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	const minSamples = 8
+	if t.filled < minSamples {
+		return 0, false
+	}
+	buf := make([]time.Duration, t.filled)
+	copy(buf, t.samples[:t.filled])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(q*float64(len(buf))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(buf) {
+		idx = len(buf) - 1
+	}
+	return buf[idx], true
+}

@@ -1,0 +1,59 @@
+package sparql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed query back to SPARQL surface syntax that Parse
+// accepts. It is the bridge for components that hold a *Query but talk to
+// engines whose entry point is query text — notably the distributed
+// coordinator, which ships source strings to shard nodes so every replica
+// parses and plans the exact same query. Format(q) round-trips: parsing the
+// output yields a query equivalent to q.
+func Format(q *Query) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if q.Star {
+		b.WriteString("*")
+	} else {
+		for i, v := range q.Select {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteByte('?')
+			b.WriteString(v)
+		}
+	}
+	b.WriteString(" WHERE { ")
+	for _, tp := range q.Patterns {
+		b.WriteString(tp.String())
+		b.WriteString(" . ")
+	}
+	b.WriteString("}")
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			if k.Desc {
+				b.WriteString(" DESC(?")
+				b.WriteString(k.Var)
+				b.WriteByte(')')
+			} else {
+				b.WriteString(" ?")
+				b.WriteString(k.Var)
+			}
+		}
+	}
+	if q.HasLimit {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(q.Limit))
+	}
+	if q.Offset > 0 {
+		b.WriteString(" OFFSET ")
+		b.WriteString(strconv.Itoa(q.Offset))
+	}
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package sparql
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		`SELECT ?x ?y WHERE { ?x <p> ?y . }`,
+		`SELECT * WHERE { ?x <p> ?y . ?y <q> "lit" . }`,
+		`SELECT DISTINCT ?x WHERE { ?x <p> ?y . } LIMIT 5`,
+		`SELECT ?x WHERE { ?x <p> <o> . } ORDER BY ?x DESC(?x) LIMIT 3 OFFSET 2`,
+		`SELECT ?x WHERE { ?x <p> ?y . } LIMIT 0`,
+	}
+	for _, src := range srcs {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		back, err := Parse(Format(q))
+		if err != nil {
+			t.Fatalf("reparse of Format(%q) = %q failed: %v", src, Format(q), err)
+		}
+		if !reflect.DeepEqual(q, back) {
+			t.Errorf("round trip of %q:\n  formatted %q\n  got  %+v\n  want %+v", src, Format(q), back, q)
+		}
+	}
+}
