@@ -7,16 +7,22 @@
 //	parj-bench -exp table3 -watdiv-scale 20
 //	parj-bench -exp table5 -repeats 10
 //	parj-bench -exp all -lubm-scale 32    # everything, smaller LUBM
+//	parj-bench -exp table5 -json -out docs/results   # machine-readable medians
 //
-// Experiments: table2, table3, table4, table5, table6, fig2, fig3.
+// Experiments: table2, table3, table4, table5, table6, fig2, fig3, skew.
 // Scales default to laptop-friendly sizes; the paper's own scales (LUBM
 // 10240, WatDiv 1000) need a large-memory server, exactly as in the paper.
+//
+// With -json, the experiment (table5 or skew) is measured over interleaved
+// A/B blocks and written as BENCH_<name>.json into -out; CI diffs these
+// files across commits (see internal/bench/json.go).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -33,6 +39,9 @@ func main() {
 		timeout     = flag.Duration("timeout", 2*time.Minute, "per-query timeout")
 		quiet       = flag.Bool("quiet", false, "suppress per-measurement progress on stderr")
 		format      = flag.String("format", "table", "output format: table or csv")
+		jsonMode    = flag.Bool("json", false, "write machine-readable BENCH_<name>.json reports instead of tables")
+		outDir      = flag.String("out", ".", "directory for -json reports")
+		blocks      = flag.Int("blocks", 5, "interleaved measurement blocks per query in -json mode")
 	)
 	flag.Parse()
 	if *exp == "" {
@@ -55,6 +64,26 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = bench.Experiments()
+		if *jsonMode {
+			names = bench.JSONExperiments()
+		}
+	}
+	if *jsonMode {
+		for _, name := range names {
+			start := time.Now()
+			rep, err := bench.RunJSONExperiment(name, cfg, *blocks)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "parj-bench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, "BENCH_"+name+".json")
+			if err := rep.WriteFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "parj-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[%s written to %s in %v]\n", name, path, time.Since(start).Round(time.Second))
+		}
+		return
 	}
 	for _, name := range names {
 		start := time.Now()

@@ -63,6 +63,24 @@ func (d *Dataset) PARJ(name string, threads int, strategy core.Strategy) Engine 
 	}}
 }
 
+// PARJWith is PARJ with explicit scheduling knobs: static selects the
+// paper's one-shot sharding, morselSize bounds the morsel tuple count in
+// scheduler mode (0 = DefaultMorselSize). Simulation follows the same rule
+// as PARJ; in morsel mode the simulated elapsed time is the list-schedule
+// makespan of the measured morsels.
+func (d *Dataset) PARJWith(name string, threads int, strategy core.Strategy, static bool, morselSize int) Engine {
+	st, ss := d.Store()
+	simulate := threads > runtime.NumCPU()
+	return &parjEngine{name: name, st: st, stats: ss, simulate: simulate, opts: core.Options{
+		Threads:       threads,
+		Strategy:      strategy,
+		Silent:        true,
+		MeasureShards: simulate,
+		StaticShards:  static,
+		MorselSize:    morselSize,
+	}}
+}
+
 // HashJoin returns the RDFox-like single-threaded baseline.
 func (d *Dataset) HashJoin() Engine {
 	if d.hash == nil {
@@ -205,6 +223,24 @@ func (d *Dataset) PARJRows(name string, threads int, strategy core.Strategy, x o
 			return nil, err
 		}
 		res, err := core.Execute(st, plan, core.Options{Threads: threads, Strategy: strategy})
+		if err != nil {
+			return nil, err
+		}
+		return res.StringRows(st), nil
+	}}
+}
+
+// PARJRowsWith is PARJRows with an explicit morsel-size bound, for the
+// scheduler axis of the differential matrix (morselSize 0 selects
+// core.DefaultMorselSize).
+func (d *Dataset) PARJRowsWith(name string, threads int, strategy core.Strategy, morselSize int, x optimizer.Expander) RowEngine {
+	st, ss := d.Store()
+	return rowEngine{name, func(q *sparql.Query) ([][]string, error) {
+		plan, err := optimizer.OptimizeExpanded(q, st, ss, x)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Execute(st, plan, core.Options{Threads: threads, Strategy: strategy, MorselSize: morselSize})
 		if err != nil {
 			return nil, err
 		}

@@ -379,7 +379,7 @@ func (e *streamResultEngine) Count(q *sparql.Query) (int64, error) {
 
 // Experiments lists the runnable experiment ids.
 func Experiments() []string {
-	return []string{"table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "results"}
+	return []string{"table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "results", "skew"}
 }
 
 // Run dispatches an experiment by id.
@@ -401,6 +401,8 @@ func Run(name string, cfg ExpConfig) (*Table, error) {
 		return Fig3(cfg), nil
 	case "results", "resulthandling":
 		return ResultHandling(cfg), nil
+	case "skew":
+		return Skew(cfg), nil
 	default:
 		valid := Experiments()
 		sort.Strings(valid)

@@ -84,9 +84,9 @@ func (c *Cluster) Execute(plan *optimizer.Plan, silent bool) (*Result, error) {
 	// shards and giving node i the i-th contiguous group reproduces the
 	// exact global partition the single-machine engine would use.
 	type nodeOut struct {
-		node  int
-		res   *core.Result
-		err   error
+		node int
+		res  *core.Result
+		err  error
 	}
 	outCh := make(chan nodeOut, c.nodes)
 	var wg sync.WaitGroup

@@ -206,3 +206,41 @@ func TestQuickClusterEquivalence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestClusterPerNodeSumsToTotal pins the shard-boundary accounting across
+// node ranges: for plain (non-DISTINCT, non-LIMIT) queries the per-node row
+// counters must sum to the coordinator's total — and to the single-machine
+// count — for every node and thread-per-node combination, so a morsel
+// decomposition that leaked or double-claimed tuples at a range boundary
+// cannot hide behind an aggregate that happens to match.
+func TestClusterPerNodeSumsToTotal(t *testing.T) {
+	f := lubmFixture(t)
+	queries := []string{
+		`SELECT ?x ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`,
+		`SELECT ?s ?p ?d WHERE { ?s ` + lubm.PredAdvisor + ` ?p . ?p ` + lubm.PredWorksFor + ` ?d }`,
+	}
+	for _, src := range queries {
+		plan := f.plan(t, src)
+		single, err := core.Execute(f.st, plan, core.Options{Threads: 4, Silent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nodes := range []int{1, 2, 3, 5} {
+			for _, tpn := range []int{1, 2} {
+				c := New(f.st, Options{Nodes: nodes, ThreadsPerNode: tpn})
+				res, err := c.Execute(plan, true)
+				if err != nil {
+					t.Fatalf("%q nodes=%d tpn=%d: %v", src, nodes, tpn, err)
+				}
+				var sum int64
+				for _, n := range res.PerNode {
+					sum += n
+				}
+				if sum != res.Count || res.Count != single.Count {
+					t.Errorf("%q nodes=%d tpn=%d: per-node sum %d, total %d, single-machine %d (per node: %v)",
+						src, nodes, tpn, sum, res.Count, single.Count, res.PerNode)
+				}
+			}
+		}
+	}
+}

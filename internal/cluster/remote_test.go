@@ -3,9 +3,11 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"net/http/httptest"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -44,15 +46,35 @@ func deadEndpoint(t *testing.T) string {
 
 func hostport(srv *httptest.Server) string { return strings.TrimPrefix(srv.URL, "http://") }
 
-var remoteQueries = []string{
-	`SELECT ?x ?y ?z WHERE {
+// remoteQuery pairs what the coordinator executes with the LIMIT-free
+// query that defines its containment universe (full == src when there is
+// no LIMIT).
+type remoteQuery struct {
+	src   string
+	full  string
+	limit int // 0 = exact multiset equality against full
+}
+
+func limited(full string, n int) remoteQuery {
+	return remoteQuery{src: fmt.Sprintf("%s LIMIT %d", full, n), full: full, limit: n}
+}
+
+var (
+	qTriangle = `SELECT ?x ?y ?z WHERE {
 		?x ` + lubm.PredMemberOf + ` ?z .
 		?z ` + lubm.PredSubOrgOf + ` ?y .
-		?x ` + lubm.PredUndergradFrom + ` ?y }`,
-	`SELECT ?x ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`,
-	`SELECT DISTINCT ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`,
-	`SELECT ?x WHERE { ?x ` + lubm.PredTakesCourse + ` ?y } LIMIT 5`,
-	`SELECT DISTINCT ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y } LIMIT 7`,
+		?x ` + lubm.PredUndergradFrom + ` ?y }`
+	qScanXY    = `SELECT ?x ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`
+	qScanX     = `SELECT ?x WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`
+	qDistinctY = `SELECT DISTINCT ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`
+)
+
+var remoteQueries = []remoteQuery{
+	{src: qTriangle, full: qTriangle},
+	{src: qScanXY, full: qScanXY},
+	{src: qDistinctY, full: qDistinctY},
+	limited(qScanX, 5),
+	limited(qDistinctY, 7),
 }
 
 // oracle runs the query single-machine with the same global thread count
@@ -66,9 +88,64 @@ func oracle(t *testing.T, f *fixture, src string, threads int, silent bool) *cor
 	return res
 }
 
+// sortedRows returns rows in lexicographic order. The morsel scheduler
+// assigns morsels to workers dynamically, so a multi-worker merge order is
+// scheduling-dependent; oracle comparisons are multiset-level.
+func sortedRows(rows [][]uint32) [][]uint32 {
+	out := append([][]uint32(nil), rows...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// checkAgainstOracle compares one coordinator result with the
+// single-machine oracle and returns the expected count. Without LIMIT the
+// row multisets must match exactly; with LIMIT the engine is free to pick
+// which rows survive the cutoff, so the check is containment — exactly
+// min(LIMIT, |full|) rows, each drawn (with multiplicity) from the full
+// result — the same semantics the differential harness pins.
+func checkAgainstOracle(t *testing.T, f *fixture, q remoteQuery, count int64, rows [][]uint32) int64 {
+	t.Helper()
+	want := oracle(t, f, q.full, 4, false)
+	if q.limit == 0 {
+		if count != want.Count || !reflect.DeepEqual(sortedRows(rows), sortedRows(want.Rows)) {
+			t.Errorf("%s: diverged from oracle (%d vs %d rows)", q.src, len(rows), len(want.Rows))
+		}
+		return want.Count
+	}
+	wantN := int64(q.limit)
+	if int64(len(want.Rows)) < wantN {
+		wantN = int64(len(want.Rows))
+	}
+	if count != wantN || int64(len(rows)) != wantN {
+		t.Errorf("%s: %d rows (count %d), want min(LIMIT, |full|) = %d",
+			q.src, len(rows), count, wantN)
+	}
+	avail := map[string]int{}
+	for _, r := range want.Rows {
+		avail[fmt.Sprint(r)]++
+	}
+	for _, r := range rows {
+		k := fmt.Sprint(r)
+		if avail[k] == 0 {
+			t.Errorf("%s: row %v not in the full oracle result (or over-multiplied)", q.src, r)
+			continue
+		}
+		avail[k]--
+	}
+	return wantN
+}
+
 // TestRemoteHealthyEquivalence: 2 shard groups × 2 replicas over loopback
-// HTTP, no faults. Every query must match the single-machine oracle
-// exactly — counts, rows and row order.
+// HTTP, no faults. Every query must match the single-machine oracle:
+// counts and row multisets, LIMIT by containment.
 func TestRemoteHealthyEquivalence(t *testing.T) {
 	defer testutil.LeakCheck(t)()
 	f := lubmFixture(t)
@@ -86,25 +163,19 @@ func TestRemoteHealthyEquivalence(t *testing.T) {
 	}
 	defer r.Close()
 
-	for _, src := range remoteQueries {
-		want := oracle(t, f, src, 4, false)
-		got, err := r.Execute(context.Background(), src, false)
+	for _, q := range remoteQueries {
+		got, err := r.Execute(context.Background(), q.src, false)
 		if err != nil {
-			t.Fatalf("%s: %v", src, err)
+			t.Fatalf("%s: %v", q.src, err)
 		}
-		if got.Count != want.Count {
-			t.Errorf("%s: count %d, oracle %d", src, got.Count, want.Count)
-		}
-		if !reflect.DeepEqual(got.Rows, want.Rows) {
-			t.Errorf("%s: rows diverge from oracle (%d vs %d rows)", src, len(got.Rows), len(want.Rows))
-		}
+		wantCount := checkAgainstOracle(t, f, q, got.Count, got.Rows)
 		if got.Completeness != 1 {
-			t.Errorf("%s: completeness %v on a healthy cluster", src, got.Completeness)
+			t.Errorf("%s: completeness %v on a healthy cluster", q.src, got.Completeness)
 		}
 		// Silent counting must agree too.
-		cnt, err := r.Count(context.Background(), src)
-		if err != nil || cnt != want.Count {
-			t.Errorf("%s: silent count %d err %v, oracle %d", src, cnt, err, want.Count)
+		cnt, err := r.Count(context.Background(), q.src)
+		if err != nil || cnt != wantCount {
+			t.Errorf("%s: silent count %d err %v, oracle %d", q.src, cnt, err, wantCount)
 		}
 	}
 }
@@ -136,8 +207,8 @@ func TestRemoteChaosReplicaDeathMidQuery(t *testing.T) {
 
 	r, err := NewRemote(RemoteOptions{
 		Replicas: [][]string{
-			{dying0.URL(), live0.URL},  // shard 0 tries replica 0 first
-			{live1.URL, dying1.URL()},  // shard 1 tries replica 1 first
+			{dying0.URL(), live0.URL}, // shard 0 tries replica 0 first
+			{live1.URL, dying1.URL()}, // shard 1 tries replica 1 first
 		},
 		ThreadsPerShard: 2,
 		Backoff:         resilience.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond},
@@ -148,18 +219,14 @@ func TestRemoteChaosReplicaDeathMidQuery(t *testing.T) {
 	}
 	defer r.Close()
 
-	for _, src := range remoteQueries {
-		want := oracle(t, f, src, 4, false)
-		got, err := r.Execute(context.Background(), src, false)
+	for _, q := range remoteQueries {
+		got, err := r.Execute(context.Background(), q.src, false)
 		if err != nil {
-			t.Fatalf("%s: %v", src, err)
+			t.Fatalf("%s: %v", q.src, err)
 		}
-		if got.Count != want.Count || !reflect.DeepEqual(got.Rows, want.Rows) {
-			t.Errorf("%s: diverged from oracle after replica death (%d vs %d rows)",
-				src, len(got.Rows), len(want.Rows))
-		}
+		checkAgainstOracle(t, f, q, got.Count, got.Rows)
 		if got.Completeness != 1 {
-			t.Errorf("%s: completeness %v, want 1 (failover, not degradation)", src, got.Completeness)
+			t.Errorf("%s: completeness %v, want 1 (failover, not degradation)", q.src, got.Completeness)
 		}
 	}
 }

@@ -83,14 +83,25 @@ type Options struct {
 	// procedures only. Tracing is only meaningful with Threads = 1; the
 	// paper's Table 6 runs single-threaded.
 	MemTracer search.Tracer
-	// MeasureShards runs the shards one at a time (no goroutine
-	// concurrency) and records each shard's execution time in
+	// MeasureShards runs the work units one at a time (no goroutine
+	// concurrency) and records each unit's execution time in
 	// Result.ShardDurations. Because PARJ workers share nothing and never
 	// communicate, the elapsed time of a communication-free N-core run is
-	// the maximum shard duration — which lets hosts with fewer cores than
-	// the requested thread count simulate the paper's multicore wall
-	// clock. See Result.MaxShardTime.
+	// the maximum shard duration (static mode) or the list-scheduling
+	// makespan of the morsel durations (default scheduler mode) — which
+	// lets hosts with fewer cores than the requested thread count simulate
+	// the paper's multicore wall clock. See Result.MaxShardTime.
 	MeasureShards bool
+	// MorselSize bounds the number of outer tuples per scheduler morsel
+	// (0 = DefaultMorselSize). Smaller morsels rebalance skew at finer
+	// grain at the cost of more dispatch traffic; tests use extreme values
+	// to fuzz the stealing protocol.
+	MorselSize int
+	// StaticShards restores the paper's one-shot static sharding (§3): one
+	// worker per shard, no morsel queue, no stealing. The default (false)
+	// runs the morsel-driven work-stealing scheduler; static mode remains
+	// as the A/B benchmarking baseline and reference semantics in tests.
+	StaticShards bool
 
 	// Context carries the query's cancellation signal and deadline. Workers
 	// observe it on an amortized schedule (every CheckInterval steps), so a
@@ -155,14 +166,28 @@ type Result struct {
 	Stats search.Stats
 	// Plan is the executed plan, kept for decoding and explain output.
 	Plan *optimizer.Plan
-	// ShardDurations holds per-shard execution times when
-	// Options.MeasureShards was set (one entry per worker shard).
+	// ShardDurations holds per-unit execution times when
+	// Options.MeasureShards was set: one entry per static shard, or one
+	// entry per morsel in the default scheduler mode.
 	ShardDurations []time.Duration
+	// Sched reports per-worker scheduler activity (morsel pulls, steals,
+	// claimed tuples, produced rows, busy time), one entry per worker.
+	Sched SchedStats
+
+	// simMakespan is the simulated parallel elapsed time of a morsel-mode
+	// MeasureShards run: the greedy list-scheduling makespan of the
+	// measured morsel durations over the requested worker count.
+	simMakespan time.Duration
 }
 
-// MaxShardTime returns the longest shard duration — the simulated
-// communication-free parallel elapsed time (zero unless MeasureShards).
+// MaxShardTime returns the simulated communication-free parallel elapsed
+// time of a MeasureShards run (zero otherwise): the list-scheduling
+// makespan of the morsel durations in scheduler mode, or the longest shard
+// duration in static mode.
 func (r *Result) MaxShardTime() time.Duration {
+	if r.simMakespan > 0 {
+		return r.simMakespan
+	}
 	var m time.Duration
 	for _, d := range r.ShardDurations {
 		if d > m {
@@ -255,6 +280,10 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
+	// A full-range execution spreads the morsels over `threads` workers; an
+	// explicit sub-range (a cluster node) gets one worker per shard of its
+	// range, preserving the deterministic per-node thread allotment.
+	fullRange := from <= 0 && to < 0
 	shards := makeShards(st, plan, threads)
 	if from < 0 {
 		from = 0
@@ -279,56 +308,69 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 	gov := governance.New(opts.governanceConfig())
 	governed := opts.governanceConfig().Enabled()
 
-	workers := make([]*worker, len(shards))
-	for i := range shards {
-		workers[i] = &worker{
-			st:          st,
-			plan:        plan,
-			strategy:    opts.Strategy,
-			tracer:      opts.MemTracer,
-			fault:       probeFaultHook,
-			hooked:      opts.MemTracer != nil || probeFaultHook != nil,
-			binding:     make([]uint32, plan.NumSlots),
-			cursors:     make([]int, len(plan.Patterns)),
-			materialize: materialize,
-			limit:       plan.Limit,
-			tick:        ungovernedTick,
+	var workers []*worker
+	if opts.StaticShards {
+		workers = make([]*worker, len(shards))
+		for i := range shards {
+			workers[i] = newWorker(st, plan, &opts, gov, governed, materialize)
 		}
-		if plan.Distinct && plan.Limit > 0 {
-			workers[i].seen = make(map[string]bool)
-		}
-		if governed {
-			workers[i].gate = gov.NewGate()
-			workers[i].tick = int64(gov.Interval())
-			if materialize {
-				workers[i].rowBytes = rowFootprint(len(plan.Project))
+		if opts.MeasureShards {
+			res.ShardDurations = make([]time.Duration, len(shards))
+			for i, w := range workers {
+				if gov.Stopped() {
+					break
+				}
+				start := time.Now()
+				runShardContained(gov, w, shards[i])
+				res.ShardDurations[i] = time.Since(start)
 			}
-		}
-	}
-	if opts.MeasureShards {
-		res.ShardDurations = make([]time.Duration, len(shards))
-		for i, w := range workers {
-			if gov.Stopped() {
-				break
+		} else {
+			var wg sync.WaitGroup
+			for i, w := range workers {
+				wg.Add(1)
+				go func(w *worker, sh shard) {
+					defer wg.Done()
+					runShardContained(gov, w, sh)
+				}(w, shards[i])
 			}
-			start := time.Now()
-			runShardContained(gov, w, shards[i])
-			res.ShardDurations[i] = time.Since(start)
+			wg.Wait()
 		}
 	} else {
-		var wg sync.WaitGroup
-		for i, w := range workers {
-			wg.Add(1)
-			go func(w *worker, sh shard) {
-				defer wg.Done()
-				runShardContained(gov, w, sh)
-			}(w, shards[i])
+		morsels := makeMorsels(st, plan, shards, opts.MorselSize)
+		nworkers := threads
+		if !fullRange {
+			nworkers = len(shards)
 		}
-		wg.Wait()
+		if nworkers > len(morsels) {
+			nworkers = len(morsels)
+		}
+		switch {
+		case len(morsels) == 0:
+			// Empty range: nothing to run.
+		case opts.MeasureShards:
+			w := newWorker(st, plan, &opts, gov, governed, materialize)
+			workers = []*worker{w}
+			res.ShardDurations = runMorselsMeasured(gov, w, morsels)
+			res.simMakespan = listScheduleMakespan(res.ShardDurations, nworkers)
+		default:
+			workers = make([]*worker, nworkers)
+			s := newScheduler(morsels, nworkers, gov)
+			var wg sync.WaitGroup
+			for id := range workers {
+				workers[id] = newWorker(st, plan, &opts, gov, governed, materialize)
+				wg.Add(1)
+				go func(w *worker, id int) {
+					defer wg.Done()
+					runSchedulerContained(gov, s, w, id)
+				}(workers[id], id)
+			}
+			wg.Wait()
+		}
 	}
 
 	for _, w := range workers {
 		res.Stats.Add(w.stats)
+		res.Sched.Workers = append(res.Sched.Workers, w.wstat)
 	}
 	if err := gov.Err(); err != nil {
 		// Governed failure or contained panic: report partial progress
@@ -374,6 +416,34 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 // charges per row.
 func rowFootprint(projected int) int64 { return int64(projected)*4 + 24 }
 
+// newWorker constructs one pipeline worker wired to the query's governor.
+func newWorker(st *store.Store, plan *optimizer.Plan, opts *Options, gov *governance.Governor, governed, materialize bool) *worker {
+	w := &worker{
+		st:          st,
+		plan:        plan,
+		strategy:    opts.Strategy,
+		tracer:      opts.MemTracer,
+		fault:       probeFaultHook,
+		hooked:      opts.MemTracer != nil || probeFaultHook != nil,
+		binding:     make([]uint32, plan.NumSlots),
+		cursors:     make([]int, len(plan.Patterns)),
+		materialize: materialize,
+		limit:       plan.Limit,
+		tick:        ungovernedTick,
+	}
+	if plan.Distinct && plan.Limit > 0 {
+		w.seen = make(map[string]bool)
+	}
+	if governed {
+		w.gate = gov.NewGate()
+		w.tick = int64(gov.Interval())
+		if materialize {
+			w.rowBytes = rowFootprint(len(plan.Project))
+		}
+	}
+	return w
+}
+
 // runShardContained drives one worker over its shard with panic
 // containment: a panic anywhere inside the pipeline is recovered, converted
 // into a typed query error on the governor (stack attached), and stops the
@@ -381,7 +451,11 @@ func rowFootprint(projected int) int64 { return int64(projected)*4 + 24 }
 // process. On normal completion the worker's gate is flushed so budget
 // accounting is exact.
 func runShardContained(gov *governance.Governor, w *worker, sh shard) {
+	start := time.Now()
 	defer func() {
+		w.wstat.Morsels++
+		w.wstat.Rows = w.produced()
+		w.wstat.Busy += time.Since(start)
 		if r := recover(); r != nil {
 			gov.Fail(&governance.PanicError{Value: r, Stack: debug.Stack()})
 		}
@@ -459,6 +533,11 @@ type worker struct {
 	// stream, when non-nil, routes rows to ExecuteStream's collector
 	// instead of buffering them.
 	stream *streamSink
+
+	// wstat tracks this worker's scheduler activity; exp0 caches the union
+	// tables of an expanded first pattern across the worker's morsels.
+	wstat WorkerStat
+	exp0  []*store.Table
 
 	stats search.Stats
 }

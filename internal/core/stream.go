@@ -75,8 +75,7 @@ func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink fun
 	rowCh := make(chan [][]uint32, threads*2)
 	cancel := make(chan struct{})
 
-	var wg sync.WaitGroup
-	for i := range shards {
+	newStreamWorker := func() *worker {
 		w := &worker{
 			st:       st,
 			plan:     plan,
@@ -96,18 +95,51 @@ func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink fun
 			w.gate = gov.NewGate()
 			w.tick = int64(gov.Interval())
 		}
-		wg.Add(1)
-		go func(w *worker, sh shard) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					gov.Fail(&governance.PanicError{Value: r, Stack: debug.Stack()})
-				}
-			}()
-			w.runShard(sh)
-			w.closeGate()
-			w.stream.flush()
-		}(w, shards[i])
+		return w
+	}
+
+	var wg sync.WaitGroup
+	if opts.StaticShards {
+		for i := range shards {
+			w := newStreamWorker()
+			wg.Add(1)
+			go func(w *worker, sh shard) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						gov.Fail(&governance.PanicError{Value: r, Stack: debug.Stack()})
+					}
+				}()
+				w.runShard(sh)
+				w.closeGate()
+				w.stream.flush()
+			}(w, shards[i])
+		}
+	} else {
+		// Morsel mode: a cancelled consumer poisons the scheduler (see
+		// drainMorsel), so stealers stop promptly instead of re-claiming the
+		// abandoned tails of a dead query.
+		morsels := makeMorsels(st, plan, shards, opts.MorselSize)
+		nworkers := threads
+		if nworkers > len(morsels) {
+			nworkers = len(morsels)
+		}
+		s := newScheduler(morsels, nworkers, gov)
+		for id := 0; id < nworkers; id++ {
+			w := newStreamWorker()
+			wg.Add(1)
+			go func(w *worker, id int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						gov.Fail(&governance.PanicError{Value: r, Stack: debug.Stack()})
+					}
+				}()
+				w.runScheduler(s, id)
+				w.closeGate()
+				w.stream.flush()
+			}(w, id)
+		}
 	}
 	go func() {
 		wg.Wait()

@@ -40,6 +40,12 @@ type DatasetConfig struct {
 	// Wide datasets pair with selective queries; the oracle budget skips
 	// the rest.
 	Wide bool
+	// Skewed concentrates the subject column on a couple of hub resources
+	// plus a Zipf-ish tail, so the first pattern's outer relation has hot
+	// keys whose runs dwarf the morsel bound — the shape the work-stealing
+	// scheduler exists for, and the one most likely to expose claim/steal
+	// races or lost tuples at hot-key split boundaries.
+	Skewed bool
 }
 
 func (c *DatasetConfig) fill() {
@@ -61,6 +67,8 @@ func (c *DatasetConfig) fill() {
 //   - anchor straddling (Wide): >512 distinct resources push dictionary IDs
 //     across posindex anchor blocks, covering the anchor+popcount path at
 //     block boundaries;
+//   - hub subjects (Skewed): half the subject column lands on one or two
+//     resources, giving the morsel scheduler hot keys to split;
 //   - an optional RDFS ontology (subclass/subproperty hierarchies plus
 //     rdf:type assertions) for entailment differentials.
 func GenDataset(rng *rand.Rand, cfg DatasetConfig) *Dataset {
@@ -118,6 +126,27 @@ func GenDataset(rng *rand.Rand, cfg DatasetConfig) *Dataset {
 		}
 	}
 
+	pickSubj := func() string { return res[rng.Intn(nRes)] }
+	if cfg.Skewed {
+		// One or two hub subjects soak up half the subject column; the rest
+		// follows a Zipf-ish rank weighting over the resource array.
+		hubs := make([]string, 1+rng.Intn(2))
+		for i := range hubs {
+			hubs[i] = res[rng.Intn(nRes)]
+		}
+		pickSubj = func() string {
+			if rng.Float64() < 0.5 {
+				return hubs[rng.Intn(len(hubs))]
+			}
+			for {
+				i := rng.Intn(nRes)
+				if rng.Float64() < 1/float64(i+1) {
+					return res[i]
+				}
+			}
+		}
+	}
+
 	seen := map[rdf.Triple]bool{}
 	add := func(t rdf.Triple) {
 		if !seen[t] {
@@ -126,7 +155,7 @@ func GenDataset(rng *rand.Rand, cfg DatasetConfig) *Dataset {
 		}
 	}
 	for i := 0; i < nTriples; i++ {
-		add(rdf.Triple{S: res[rng.Intn(nRes)], P: pickPred(), O: pickObj()})
+		add(rdf.Triple{S: pickSubj(), P: pickPred(), O: pickObj()})
 	}
 
 	// Optional ontology: a small class tree plus one property hierarchy.

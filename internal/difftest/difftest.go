@@ -98,6 +98,41 @@ func Configs(workers []int) []EngineConfig {
 	return out
 }
 
+// MorselSizes is the morsel-size axis of the scheduler matrix: 1 makes
+// every outer work unit its own morsel (maximal dispatch and steal
+// traffic), 7 forces uneven chunking with constant re-claiming, and 64K —
+// the default scale — usually yields fewer morsels than workers, covering
+// the clamped worker-count path.
+var MorselSizes = []int{1, 7, 64 * 1024}
+
+// MorselConfigs returns the scheduler differential matrix: PARJ under
+// every strategy at each worker count and each morsel size. Nil slices
+// select WorkerCounts() and MorselSizes.
+func MorselConfigs(workers []int, sizes []int) []EngineConfig {
+	if workers == nil {
+		workers = WorkerCounts()
+	}
+	if sizes == nil {
+		sizes = MorselSizes
+	}
+	var out []EngineConfig
+	for _, s := range strategies {
+		for _, w := range workers {
+			for _, m := range sizes {
+				s, w, m := s, w, m
+				name := fmt.Sprintf("parj-%s-w%d-m%d", s, w, m)
+				out = append(out, EngineConfig{
+					Name: name,
+					Make: func(d *bench.Dataset) bench.RowEngine {
+						return d.PARJRowsWith(name, w, s, m, nil)
+					},
+				})
+			}
+		}
+	}
+	return out
+}
+
 // EntailConfigs returns the entailment matrix: PARJ (the only engine with
 // backward-chained RDFS support) under every strategy at each worker count.
 // The oracle side evaluates over rdfs.ForwardChain-materialized triples.
@@ -123,10 +158,11 @@ func EntailConfigs(workers []int) []EngineConfig {
 	return out
 }
 
-// FindConfig resolves an engine-configuration name as produced by Configs
-// or EntailConfigs, for replaying shrunk repros. PARJ names are parsed
-// rather than looked up, so a repro recorded on a many-core host replays on
-// any machine ("parj-AdBinary-w8" works on a dual-core laptop).
+// FindConfig resolves an engine-configuration name as produced by Configs,
+// MorselConfigs or EntailConfigs, for replaying shrunk repros. PARJ names
+// are parsed rather than looked up, so a repro recorded on a many-core host
+// replays on any machine ("parj-AdBinary-w8-m7" works on a dual-core
+// laptop).
 func FindConfig(name string) (EngineConfig, error) {
 	for _, c := range append(Configs(nil), EntailConfigs(nil)...) {
 		if c.Name == name {
@@ -140,6 +176,15 @@ func FindConfig(name string) (EngineConfig, error) {
 		if !plain {
 			return EngineConfig{}, fmt.Errorf("difftest: unknown engine config %q", name)
 		}
+	}
+	morsel := 0
+	if mIdx := strings.LastIndex(rest, "-m"); mIdx >= 0 && mIdx > strings.LastIndex(rest, "-w") {
+		m, err := strconv.Atoi(rest[mIdx+2:])
+		if err != nil || m < 1 {
+			return EngineConfig{}, fmt.Errorf("difftest: unknown engine config %q", name)
+		}
+		morsel = m
+		rest = rest[:mIdx]
 	}
 	wIdx := strings.LastIndex(rest, "-w")
 	if wIdx < 0 {
@@ -158,6 +203,9 @@ func FindConfig(name string) (EngineConfig, error) {
 				if entail {
 					st, _ := d.Store()
 					x = rdfs.New(st, "", "", "")
+				}
+				if morsel > 0 {
+					return d.PARJRowsWith(name, w, s, morsel, x)
 				}
 				return d.PARJRows(name, w, s, x)
 			}}, nil

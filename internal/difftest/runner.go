@@ -111,8 +111,10 @@ func Run(cfg Config) *Report {
 		ds := GenDataset(dsRng, DatasetConfig{
 			MaxTriples: cfg.MaxTriples,
 			// Every fifth dataset goes wide so dictionary IDs straddle
-			// posindex anchor boundaries.
-			Wide: di%5 == 4,
+			// posindex anchor boundaries; every third is subject-skewed so
+			// the morsel scheduler sees hot keys.
+			Wide:   di%5 == 4,
+			Skewed: di%3 == 2,
 		})
 		rep.Datasets++
 		benchDS := bench.NewDataset(ds.Triples, 2)
