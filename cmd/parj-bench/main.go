@@ -9,13 +9,14 @@
 //	parj-bench -exp all -lubm-scale 32    # everything, smaller LUBM
 //	parj-bench -exp table5 -json -out docs/results   # machine-readable medians
 //
-// Experiments: table2, table3, table4, table5, table6, fig2, fig3, skew.
-// Scales default to laptop-friendly sizes; the paper's own scales (LUBM
-// 10240, WatDiv 1000) need a large-memory server, exactly as in the paper.
+// Experiments: table2, table3, table4, table5, table6, fig2, fig3, skew,
+// cyclic. Scales default to laptop-friendly sizes; the paper's own scales
+// (LUBM 10240, WatDiv 1000) need a large-memory server, exactly as in the
+// paper.
 //
-// With -json, the experiment (table5 or skew) is measured over interleaved
-// A/B blocks and written as BENCH_<name>.json into -out; CI diffs these
-// files across commits (see internal/bench/json.go).
+// With -json, the experiment (table5, skew or cyclic) is measured over
+// interleaved A/B blocks and written as BENCH_<name>.json into -out; CI
+// diffs these files across commits (see internal/bench/json.go).
 package main
 
 import (

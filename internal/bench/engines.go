@@ -81,6 +81,25 @@ func (d *Dataset) PARJWith(name string, threads int, strategy core.Strategy, sta
 	}}
 }
 
+// PARJJoin is PARJWith with a forced join operator, for A/B comparisons of
+// the worst-case-optimal operator against the left-deep pipeline on the
+// same store. The simulation contract is unchanged: thread counts above the
+// host's cores measure shards sequentially and report the simulated
+// parallel elapsed time, which stays valid for WCOJ because its domain
+// shards are communication-free like the pipeline's.
+func (d *Dataset) PARJJoin(name string, threads int, strategy core.Strategy, join core.JoinAlgo, morselSize int) Engine {
+	st, ss := d.Store()
+	simulate := threads > runtime.NumCPU()
+	return &parjEngine{name: name, st: st, stats: ss, simulate: simulate, opts: core.Options{
+		Threads:       threads,
+		Strategy:      strategy,
+		Silent:        true,
+		MeasureShards: simulate,
+		MorselSize:    morselSize,
+		Join:          join,
+	}}
+}
+
 // HashJoin returns the RDFox-like single-threaded baseline.
 func (d *Dataset) HashJoin() Engine {
 	if d.hash == nil {
@@ -241,6 +260,23 @@ func (d *Dataset) PARJRowsWith(name string, threads int, strategy core.Strategy,
 			return nil, err
 		}
 		res, err := core.Execute(st, plan, core.Options{Threads: threads, Strategy: strategy, MorselSize: morselSize})
+		if err != nil {
+			return nil, err
+		}
+		return res.StringRows(st), nil
+	}}
+}
+
+// PARJRowsJoin is PARJRowsWith with a forced join operator, the engine the
+// differential matrix uses for its WCOJ × pipeline × auto axis.
+func (d *Dataset) PARJRowsJoin(name string, threads int, strategy core.Strategy, join core.JoinAlgo, morselSize int, x optimizer.Expander) RowEngine {
+	st, ss := d.Store()
+	return rowEngine{name, func(q *sparql.Query) ([][]string, error) {
+		plan, err := optimizer.OptimizeExpanded(q, st, ss, x)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Execute(st, plan, core.Options{Threads: threads, Strategy: strategy, MorselSize: morselSize, Join: join})
 		if err != nil {
 			return nil, err
 		}

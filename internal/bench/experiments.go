@@ -379,7 +379,7 @@ func (e *streamResultEngine) Count(q *sparql.Query) (int64, error) {
 
 // Experiments lists the runnable experiment ids.
 func Experiments() []string {
-	return []string{"table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "results", "skew"}
+	return []string{"table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "results", "skew", "cyclic"}
 }
 
 // Run dispatches an experiment by id.
@@ -403,6 +403,8 @@ func Run(name string, cfg ExpConfig) (*Table, error) {
 		return ResultHandling(cfg), nil
 	case "skew":
 		return Skew(cfg), nil
+	case "cyclic":
+		return Cyclic(cfg), nil
 	default:
 		valid := Experiments()
 		sort.Strings(valid)

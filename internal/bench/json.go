@@ -93,7 +93,7 @@ func CompareReports(baseline, cur *Report, tol float64) []string {
 }
 
 // JSONExperiments lists the experiment ids RunJSONExperiment accepts.
-func JSONExperiments() []string { return []string{"table5", "skew"} }
+func JSONExperiments() []string { return []string{"table5", "skew", "cyclic"} }
 
 // RunJSONExperiment measures one experiment in report form. Unlike the
 // table experiments, the engines here run at 1 thread (table5) or with the
@@ -109,8 +109,10 @@ func RunJSONExperiment(name string, cfg ExpConfig, blocks int) (*Report, error) 
 		return jsonTable5(cfg, blocks)
 	case "skew":
 		return jsonSkew(cfg, blocks)
+	case "cyclic":
+		return jsonCyclic(cfg, blocks)
 	default:
-		return nil, fmt.Errorf("bench: experiment %q has no JSON mode (valid: table5, skew)", name)
+		return nil, fmt.Errorf("bench: experiment %q has no JSON mode (valid: table5, skew, cyclic)", name)
 	}
 }
 
@@ -178,6 +180,39 @@ func jsonSkew(cfg ExpConfig, blocks int) (*Report, error) {
 		morsel := rep.Medians[q.Name+"/Morsel-8"]
 		if morsel > 0 {
 			rep.Notes["speedup/"+q.Name] = fmt.Sprintf("%.2f", static/morsel)
+		}
+	}
+	return rep, nil
+}
+
+// jsonCyclic measures the join-operator A/B pair on the dense cyclic
+// workload and derives the WCOJ-over-pipeline speedup notes the acceptance
+// check reads.
+func jsonCyclic(cfg ExpConfig, blocks int) (*Report, error) {
+	cc := CyclicConfig{}
+	cc.fill()
+	d := NewDataset(CyclicTriples(cc), cfg.Threads)
+	rep := &Report{
+		Name:   "cyclic",
+		Blocks: blocks,
+		Params: map[string]string{
+			"nodes":       fmt.Sprint(cc.Nodes),
+			"edges":       fmt.Sprint(cc.Edges),
+			"zipf_s":      fmt.Sprint(cc.S),
+			"workers":     fmt.Sprint(CyclicWorkers),
+			"morsel_size": fmt.Sprint(cyclicMorselSize),
+		},
+		Notes: map[string]string{},
+	}
+	queries := CyclicQueries()
+	if err := sampleInterleaved(rep, queries, CyclicEngines(d), blocks, cfg); err != nil {
+		return nil, err
+	}
+	for _, q := range queries {
+		pipe := rep.Medians[q.Name+"/Pipe-8"]
+		wcoj := rep.Medians[q.Name+"/WCOJ-8"]
+		if wcoj > 0 {
+			rep.Notes["speedup/"+q.Name] = fmt.Sprintf("%.2f", pipe/wcoj)
 		}
 	}
 	return rep, nil

@@ -101,6 +101,36 @@ func TestJSONSkewReport(t *testing.T) {
 	}
 }
 
+// TestJSONCyclicReport runs the cyclic join-operator experiment end to end
+// in report form and checks the acceptance property of the WCOJ operator:
+// it beats the binary-join pipeline on the dense triangle query at 8
+// workers. The committed BENCH_cyclic.json documents the real margin
+// (>= 5x); the in-test bound is a modest 1.5x so noisy CI machines don't
+// flake, while still catching an operator that lost its asymptotic edge.
+func TestJSONCyclicReport(t *testing.T) {
+	rep, err := RunJSONExperiment("cyclic", ExpConfig{Timeout: 2 * time.Minute}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range CyclicQueries() {
+		if rep.Counts[q.Name] <= 0 {
+			t.Fatalf("%s: empty result", q.Name)
+		}
+		for _, e := range []string{"WCOJ-8", "Pipe-8"} {
+			if rep.Medians[q.Name+"/"+e] <= 0 {
+				t.Fatalf("%s/%s: no median recorded", q.Name, e)
+			}
+		}
+	}
+	sp, err := strconv.ParseFloat(rep.Notes["speedup/TRI"], 64)
+	if err != nil {
+		t.Fatalf("speedup note: %v (notes %v)", err, rep.Notes)
+	}
+	if sp < 1.5 {
+		t.Fatalf("WCOJ speedup on dense TRI = %.2fx, want >= 1.5x", sp)
+	}
+}
+
 // TestBenchRegression is the regression tier of the harness: pointed at a
 // committed baseline report via PARJ_BENCH_BASELINE, it replays the same
 // experiment at the baseline's parameters and fails if any median

@@ -31,6 +31,13 @@ type Options struct {
 	ThreadsPerNode int
 	// Strategy is the probe strategy used by every node.
 	Strategy core.Strategy
+	// Join selects the join operator on every node. The worst-case-optimal
+	// operator shards the first variable's materialized domain through the
+	// same deterministic layer as the pipeline's makeShards, so the
+	// per-node shard-range contract — disjoint ranges whose union is the
+	// full result — holds for it unchanged. All nodes must agree on the
+	// operator, which a shared Options value guarantees.
+	Join core.JoinAlgo
 }
 
 // Cluster evaluates queries over N fully replicated nodes.
@@ -39,6 +46,7 @@ type Cluster struct {
 	nodes int
 	tpn   int
 	strat core.Strategy
+	join  core.JoinAlgo
 }
 
 // New creates a cluster over a loaded store.
@@ -49,7 +57,7 @@ func New(st *store.Store, opts Options) *Cluster {
 	if opts.ThreadsPerNode <= 0 {
 		opts.ThreadsPerNode = 1
 	}
-	return &Cluster{st: st, nodes: opts.Nodes, tpn: opts.ThreadsPerNode, strat: opts.Strategy}
+	return &Cluster{st: st, nodes: opts.Nodes, tpn: opts.ThreadsPerNode, strat: opts.Strategy, join: opts.Join}
 }
 
 // Result is the coordinator-side outcome of a cluster query.
@@ -98,6 +106,7 @@ func (c *Cluster) Execute(plan *optimizer.Plan, silent bool) (*Result, error) {
 				Threads:  c.nodes * c.tpn,
 				Strategy: c.strat,
 				Silent:   nodeSilent,
+				Join:     c.join,
 			}, n*c.tpn, (n+1)*c.tpn)
 			outCh <- nodeOut{node: n, res: r, err: err}
 		}(n)

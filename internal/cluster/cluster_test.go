@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -243,4 +245,75 @@ func TestClusterPerNodeSumsToTotal(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestClusterWCOJDeterminism runs cyclic queries with the worst-case-optimal
+// operator forced on every node of a 2×2 cluster and checks the gathered
+// result against the single-machine pipeline: same row multiset, and per-node
+// counters that sum to the total. This pins the tentpole's cluster contract —
+// the WCOJ domain shards through the same deterministic layer as makeShards,
+// so node ranges stay disjoint and exhaustive.
+func TestClusterWCOJDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var triples []rdf.Triple
+	const n = 50
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.12 {
+				triples = append(triples, rdf.Triple{
+					S: fmt.Sprintf("<n%d>", i), P: "<e>", O: fmt.Sprintf("<n%d>", j),
+				})
+			}
+		}
+	}
+	st := store.LoadTriples(triples, store.BuildOptions{BuildPosIndex: true})
+	ss := stats.New(st)
+	f := &fixture{st: st, ss: ss}
+	queries := []string{
+		`SELECT * WHERE { ?a <e> ?b . ?b <e> ?c . ?c <e> ?a }`,
+		`SELECT * WHERE { ?a <e> ?b . ?b <e> ?c . ?c <e> ?d . ?d <e> ?a }`,
+		`SELECT ?x WHERE { ?x <e> ?x }`,
+		`SELECT DISTINCT ?a WHERE { ?a <e> ?b . ?b <e> ?a }`,
+	}
+	for _, src := range queries {
+		plan := f.plan(t, src)
+		single, err := core.Execute(st, plan, core.Options{Threads: 4, Join: core.JoinPipeline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, join := range []core.JoinAlgo{core.JoinWCOJ, core.JoinAuto} {
+			c := New(st, Options{Nodes: 2, ThreadsPerNode: 2, Join: join})
+			res, err := c.Execute(plan, false)
+			if err != nil {
+				t.Fatalf("%s join=%v: %v", src, join, err)
+			}
+			if res.Count != single.Count {
+				t.Errorf("%s join=%v: cluster count %d != single-machine pipeline %d",
+					src, join, res.Count, single.Count)
+			}
+			if got, want := canonRows(res.Rows), canonRows(single.Rows); got != want {
+				t.Errorf("%s join=%v: cluster rows differ from pipeline rows", src, join)
+			}
+			if !plan.Distinct {
+				var sum int64
+				for _, n := range res.PerNode {
+					sum += n
+				}
+				if sum != res.Count {
+					t.Errorf("%s join=%v: per-node sum %d, total %d (%v)",
+						src, join, sum, res.Count, res.PerNode)
+				}
+			}
+		}
+	}
+}
+
+// canonRows renders a row multiset order-independently.
+func canonRows(rows [][]uint32) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = fmt.Sprint(r)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
 }

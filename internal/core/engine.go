@@ -102,6 +102,11 @@ type Options struct {
 	// runs the morsel-driven work-stealing scheduler; static mode remains
 	// as the A/B benchmarking baseline and reference semantics in tests.
 	StaticShards bool
+	// Join selects the join operator: JoinAuto (default) follows the
+	// optimizer's shape classifier (Plan.PreferWCOJ), JoinPipeline and
+	// JoinWCOJ force one operator — the knob difftest and bench use to A/B
+	// the two. See wcoj.go.
+	Join JoinAlgo
 
 	// Context carries the query's cancellation signal and deadline. Workers
 	// observe it on an amortized schedule (every CheckInterval steps), so a
@@ -284,7 +289,16 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 	// explicit sub-range (a cluster node) gets one worker per shard of its
 	// range, preserving the deterministic per-node thread allotment.
 	fullRange := from <= 0 && to < 0
-	shards := makeShards(st, plan, threads)
+	// Operator choice: the worst-case-optimal join shards the first
+	// variable's materialized domain at this same layer, so the cluster's
+	// deterministic [from, to) shard-range contract is preserved.
+	wp := wcojFor(st, plan, &opts)
+	var shards []shard
+	if wp != nil {
+		shards = makeWCOJShards(wp, threads)
+	} else {
+		shards = makeShards(st, plan, threads)
+	}
 	if from < 0 {
 		from = 0
 	}
@@ -313,6 +327,7 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 		workers = make([]*worker, len(shards))
 		for i := range shards {
 			workers[i] = newWorker(st, plan, &opts, gov, governed, materialize)
+			workers[i].setWCOJ(wp)
 		}
 		if opts.MeasureShards {
 			res.ShardDurations = make([]time.Duration, len(shards))
@@ -349,6 +364,7 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 			// Empty range: nothing to run.
 		case opts.MeasureShards:
 			w := newWorker(st, plan, &opts, gov, governed, materialize)
+			w.setWCOJ(wp)
 			workers = []*worker{w}
 			res.ShardDurations = runMorselsMeasured(gov, w, morsels)
 			res.simMakespan = listScheduleMakespan(res.ShardDurations, nworkers)
@@ -358,6 +374,7 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 			var wg sync.WaitGroup
 			for id := range workers {
 				workers[id] = newWorker(st, plan, &opts, gov, governed, materialize)
+				workers[id].setWCOJ(wp)
 				wg.Add(1)
 				go func(w *worker, id int) {
 					defer wg.Done()
@@ -538,6 +555,10 @@ type worker struct {
 	// tables of an expanded first pattern across the worker's morsels.
 	wstat WorkerStat
 	exp0  []*store.Table
+
+	// wcoj, when non-nil, switches the worker to the worst-case-optimal
+	// executor (wcoj.go); the pipeline fields above stay unused then.
+	wcoj *wcojExec
 
 	stats search.Stats
 }
@@ -848,6 +869,11 @@ type shard struct {
 	unionKeys []uint32
 	unionVals []uint32
 	whole     bool
+
+	// wcojDom slices the materialized first-variable domain of a
+	// worst-case-optimal join (see makeWCOJShards); the other fields are
+	// unused then.
+	wcojDom []uint32
 }
 
 type predRange struct {
@@ -864,6 +890,10 @@ type predRange struct {
 // runShard drives the first pattern over the worker's shard, then pipelines
 // into the remaining patterns.
 func (w *worker) runShard(sh shard) {
+	if sh.wcojDom != nil {
+		w.wcojRange(sh.wcojDom)
+		return
+	}
 	pp := &w.plan.Patterns[0]
 	switch {
 	case sh.whole:

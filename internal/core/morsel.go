@@ -132,6 +132,9 @@ const (
 	morselUnionVals
 	// morselWhole is the unsplittable whole-pattern fallback shard.
 	morselWhole
+	// morselWCOJ spans indices of the materialized first-variable domain of
+	// a worst-case-optimal join (see wcoj.go).
+	morselWCOJ
 )
 
 // morsel is one bounded unit of outer-relation work plus its claim span.
@@ -192,6 +195,8 @@ func makeMorsels(st *store.Store, plan *optimizer.Plan, shards []shard, size int
 	}
 	for _, sh := range shards {
 		switch {
+		case sh.wcojDom != nil:
+			cutSlice(morselWCOJ, sh.wcojDom)
 		case sh.whole:
 			out = append(out, newMorsel(morselWhole, nil, 0, 0, nil, 0, 1))
 		case sh.unionKeys != nil:
@@ -447,6 +452,8 @@ func (w *worker) drainMorsel(s *scheduler, m *morsel) bool {
 func (w *worker) processRange(m *morsel, from, to int) bool {
 	pp := &w.plan.Patterns[0]
 	switch m.kind {
+	case morselWCOJ:
+		return w.wcojRange(m.union[from:to])
 	case morselWhole:
 		return w.step(0)
 	case morselUnionKeys:

@@ -59,7 +59,15 @@ func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink fun
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	shards := makeShards(st, plan, threads)
+	// Same operator choice as Execute: a WCOJ plan shards the first
+	// variable's domain instead of the first pattern.
+	wp := wcojFor(st, plan, &opts)
+	var shards []shard
+	if wp != nil {
+		shards = makeWCOJShards(wp, threads)
+	} else {
+		shards = makeShards(st, plan, threads)
+	}
 
 	// As in Execute, the governor is where worker panics land; per-step
 	// gates exist only when the options constrain the query. Streaming
@@ -95,6 +103,7 @@ func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink fun
 			w.gate = gov.NewGate()
 			w.tick = int64(gov.Interval())
 		}
+		w.setWCOJ(wp)
 		return w
 	}
 

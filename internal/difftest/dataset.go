@@ -46,6 +46,11 @@ type DatasetConfig struct {
 	// scheduler exists for, and the one most likely to expose claim/steal
 	// races or lost tuples at hot-key split boundaries.
 	Skewed bool
+	// Dense shrinks the resource and predicate universes to near-clique
+	// density, so the cyclic query shapes (triangles, 2-cycles, self-joins)
+	// actually close — the regime where the worst-case-optimal operator's
+	// intersections do real work instead of degenerating to empty scans.
+	Dense bool
 }
 
 func (c *DatasetConfig) fill() {
@@ -69,6 +74,9 @@ func (c *DatasetConfig) fill() {
 //     block boundaries;
 //   - hub subjects (Skewed): half the subject column lands on one or two
 //     resources, giving the morsel scheduler hot keys to split;
+//   - near-clique universes (Dense): so few resources that cyclic BGPs
+//     close constantly, making triangle blowup (and any WCOJ intersection
+//     bug) observable;
 //   - an optional RDFS ontology (subclass/subproperty hierarchies plus
 //     rdf:type assertions) for entailment differentials.
 func GenDataset(rng *rand.Rand, cfg DatasetConfig) *Dataset {
@@ -80,6 +88,14 @@ func GenDataset(rng *rand.Rand, cfg DatasetConfig) *Dataset {
 	nPred := 1 + rng.Intn(6)
 	nRes := 8 + rng.Intn(40)
 	switch {
+	case cfg.Dense:
+		// Near-clique: ~1-2 predicates over a handful of resources, so a
+		// few hundred triples approach all-pairs density. The Dense case
+		// comes first and reuses the draws above (no extra rng consumption
+		// on the other paths), keeping non-dense generation bit-identical
+		// to what earlier seeds produced.
+		nPred = 1 + nPred%2
+		nRes = 6 + nRes%9
 	case cfg.Wide:
 		nRes = 600 + rng.Intn(900)
 	case rng.Intn(3) == 0: // medium

@@ -69,6 +69,7 @@ func WorkerCounts() []int {
 // strategy at each worker count, plus the four baselines. A nil workers
 // slice selects WorkerCounts().
 func Configs(workers []int) []EngineConfig {
+	wcojWorkers := workers // nil lets WCOJConfigs pick its own axis
 	if workers == nil {
 		workers = WorkerCounts()
 	}
@@ -84,6 +85,7 @@ func Configs(workers []int) []EngineConfig {
 			})
 		}
 	}
+	out = append(out, WCOJConfigs(wcojWorkers)...)
 	out = append(out,
 		EngineConfig{Name: "hashjoin", Make: func(d *bench.Dataset) bench.RowEngine { return d.HashJoinRows() }},
 		EngineConfig{Name: "rdf3x", Make: func(d *bench.Dataset) bench.RowEngine { return d.RDF3XRows() }},
@@ -95,6 +97,60 @@ func Configs(workers []int) []EngineConfig {
 		// coordinator, diffed against the oracle like any local engine.
 		clusterConfig(),
 	)
+	return out
+}
+
+// joinAlgos is the join-operator axis of the WCOJ matrix: the forced
+// worst-case-optimal operator, the forced pipeline, and the optimizer's
+// shape-based auto choice. Running all three on the same generated BGPs is
+// what proves the two operators interchangeable — auto may flip between
+// them per query, and any divergence from the oracle pins which operator
+// (or the chooser itself) is wrong.
+var joinAlgos = []core.JoinAlgo{core.JoinWCOJ, core.JoinPipeline, core.JoinAuto}
+
+// WCOJWorkerCounts is the worker axis of the WCOJ matrix: single-worker
+// (pure leapfrog, no scheduler), an odd count that never divides the outer
+// domain evenly, and full parallelism — deduplicated like WorkerCounts.
+func WCOJWorkerCounts() []int {
+	counts := []int{1, 3, runtime.GOMAXPROCS(0)}
+	var out []int
+	for _, c := range counts {
+		dup := false
+		for _, o := range out {
+			if o == c {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WCOJConfigs returns the join-operator differential matrix: PARJ with the
+// join operator forced to WCOJ, to the pipeline, and left on auto, at each
+// worker count. Ineligible patterns (variable predicates, hierarchy
+// expansion) silently fall back to the pipeline under forced WCOJ, so every
+// generated query is fair game. A nil workers slice selects
+// WCOJWorkerCounts().
+func WCOJConfigs(workers []int) []EngineConfig {
+	if workers == nil {
+		workers = WCOJWorkerCounts()
+	}
+	var out []EngineConfig
+	for _, j := range joinAlgos {
+		for _, w := range workers {
+			j, w := j, w
+			name := fmt.Sprintf("parj-%s-%s-w%d", j, core.AdaptiveBinary, w)
+			out = append(out, EngineConfig{
+				Name: name,
+				Make: func(d *bench.Dataset) bench.RowEngine {
+					return d.PARJRowsJoin(name, w, core.AdaptiveBinary, j, 0, nil)
+				},
+			})
+		}
+	}
 	return out
 }
 
@@ -177,6 +233,16 @@ func FindConfig(name string) (EngineConfig, error) {
 			return EngineConfig{}, fmt.Errorf("difftest: unknown engine config %q", name)
 		}
 	}
+	// Optional join-operator token (the WCOJConfigs grammar):
+	// parj[-entail]-(wcoj|pipe|auto)-<strategy>-w<N>[-m<M>].
+	join, joinSet := core.JoinAuto, false
+	for _, j := range joinAlgos {
+		if r, ok := strings.CutPrefix(rest, j.String()+"-"); ok {
+			join, joinSet = j, true
+			rest = r
+			break
+		}
+	}
 	morsel := 0
 	if mIdx := strings.LastIndex(rest, "-m"); mIdx >= 0 && mIdx > strings.LastIndex(rest, "-w") {
 		m, err := strconv.Atoi(rest[mIdx+2:])
@@ -203,6 +269,9 @@ func FindConfig(name string) (EngineConfig, error) {
 				if entail {
 					st, _ := d.Store()
 					x = rdfs.New(st, "", "", "")
+				}
+				if joinSet {
+					return d.PARJRowsJoin(name, w, s, join, morsel, x)
 				}
 				if morsel > 0 {
 					return d.PARJRowsWith(name, w, s, morsel, x)

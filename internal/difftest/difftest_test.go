@@ -154,7 +154,10 @@ func TestHarnessCatchesCorruptEngine(t *testing.T) {
 // TestFindConfigRoundTrip resolves every generated configuration name plus
 // a name from a wider host than this one.
 func TestFindConfigRoundTrip(t *testing.T) {
-	for _, c := range append(Configs(nil), EntailConfigs(nil)...) {
+	all := append(Configs(nil), EntailConfigs(nil)...)
+	all = append(all, MorselConfigs(nil, nil)...)
+	all = append(all, WCOJConfigs(nil)...)
+	for _, c := range all {
 		got, err := FindConfig(c.Name)
 		if err != nil {
 			t.Errorf("FindConfig(%q): %v", c.Name, err)
@@ -165,13 +168,26 @@ func TestFindConfigRoundTrip(t *testing.T) {
 				c.Name, got.Name, got.Entail, c.Name, c.Entail)
 		}
 	}
-	// A repro recorded on a 64-core machine must replay anywhere.
-	for _, name := range []string{"parj-AdBinary-w64", "parj-entail-Index-w8"} {
+	// A repro recorded on a wider host than this one must replay anywhere:
+	// every grammar — plain, entail, morsel-bounded, and join-forced — with
+	// worker counts no host here has.
+	for _, name := range []string{
+		"parj-AdBinary-w64",
+		"parj-entail-Index-w8",
+		"parj-AdIndex-w16-m7",
+		"parj-wcoj-AdBinary-w64",
+		"parj-pipe-Index-w8-m7",
+		"parj-auto-AdIndex-w3",
+		"parj-entail-wcoj-AdIndex-w16",
+	} {
 		if _, err := FindConfig(name); err != nil {
 			t.Errorf("FindConfig(%q): %v", name, err)
 		}
 	}
-	for _, name := range []string{"parj-NoSuch-w2", "parj-AdBinary-w0", "nonsense"} {
+	for _, name := range []string{
+		"parj-NoSuch-w2", "parj-AdBinary-w0", "nonsense",
+		"parj-wcoj-NoSuch-w2", "parj-wcoj-AdBinary-w0", "parj-wcoj-w2",
+	} {
 		if _, err := FindConfig(name); err == nil {
 			t.Errorf("FindConfig(%q) unexpectedly resolved", name)
 		}

@@ -100,6 +100,33 @@ func metamorphicChecks(rng *rand.Rand, benchDS *bench.Dataset, ds *Dataset, q *Q
 		fail("meta-count", fmt.Sprintf("silent COUNT %d vs %d materialized rows", n, len(base)))
 	}
 
+	// Join-operator equivalence: the forced worst-case-optimal operator and
+	// the forced pipeline must return identical row multisets — the two
+	// operators differ in every execution detail (leapfrog intersections vs
+	// probe recursion, domain morsels vs key-range morsels) but none of it
+	// is allowed to show in the result. Under LIMIT only the row count is
+	// comparable: which rows survive truncation legitimately differs.
+	{
+		wcojEng := benchDS.PARJRowsJoin("meta-wcoj", 2, core.AdaptiveBinary, core.JoinWCOJ, 0, nil)
+		pipeEng := benchDS.PARJRowsJoin("meta-pipe", 2, core.AdaptiveBinary, core.JoinPipeline, 0, nil)
+		wRows, err := wcojEng.Evaluate(parsed)
+		pRows, err2 := pipeEng.Evaluate(parsed)
+		switch {
+		case err != nil:
+			fail("meta-wcoj", "error: "+err.Error())
+		case err2 != nil:
+			fail("meta-wcoj", "error: "+err2.Error())
+		case q.HasLimit:
+			if len(wRows) != len(pRows) {
+				fail("meta-wcoj", fmt.Sprintf("LIMIT: wcoj returned %d rows, pipeline %d", len(wRows), len(pRows)))
+			}
+		default:
+			if diff := reference.DiffMultisets(pRows, wRows); diff != "" {
+				fail("meta-wcoj", diff)
+			}
+		}
+	}
+
 	// Governance transparency: the same query under a generous deadline and
 	// huge budgets must return exactly the untimed result — limits that
 	// never trip may not alter what the engine computes. This also diffs the

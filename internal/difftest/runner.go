@@ -112,9 +112,11 @@ func Run(cfg Config) *Report {
 			MaxTriples: cfg.MaxTriples,
 			// Every fifth dataset goes wide so dictionary IDs straddle
 			// posindex anchor boundaries; every third is subject-skewed so
-			// the morsel scheduler sees hot keys.
+			// the morsel scheduler sees hot keys; every seventh is dense so
+			// cyclic patterns close and the WCOJ operator does real work.
 			Wide:   di%5 == 4,
 			Skewed: di%3 == 2,
+			Dense:  di%7 == 5,
 		})
 		rep.Datasets++
 		benchDS := bench.NewDataset(ds.Triples, 2)

@@ -57,6 +57,7 @@ func OptimizeExpanded(q *sparql.Query, st *store.Store, s *stats.Stats, x Expand
 	plan.EstCost, plan.EstCard = cost, card
 
 	buildPatternPlans(plan, q, infos, order, st, s)
+	classifyPlanShape(plan, infos, s)
 	return plan, nil
 }
 

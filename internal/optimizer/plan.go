@@ -104,6 +104,13 @@ type Plan struct {
 	// order, exposed for explain output and tests.
 	EstCost float64
 	EstCard float64
+
+	// Shape classifies the BGP's variable-sharing graph (shape.go);
+	// PreferWCOJ records that the classifier and cost tiebreak chose the
+	// worst-case-optimal operator for this plan. Execution follows it under
+	// core.Options JoinAuto and can force either operator.
+	Shape      Shape
+	PreferWCOJ bool
 }
 
 // EstResultRows is the optimizer's estimate of the number of result rows —
@@ -130,7 +137,11 @@ func (p *Plan) Explain() string {
 	if p.Empty {
 		return "empty result (constant not in dictionary)"
 	}
-	out := fmt.Sprintf("plan cost=%.1f card=%.1f\n", p.EstCost, p.EstCard)
+	operator := ""
+	if p.PreferWCOJ {
+		operator = fmt.Sprintf(" join=wcoj shape=%v", p.Shape)
+	}
+	out := fmt.Sprintf("plan cost=%.1f card=%.1f%s\n", p.EstCost, p.EstCard, operator)
 	for i, pp := range p.Patterns {
 		replica := "S-O"
 		if pp.UseOS {

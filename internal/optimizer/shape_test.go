@@ -1,0 +1,48 @@
+package optimizer
+
+import "testing"
+
+// TestShapeClassifier pins the variable-sharing-multigraph classification
+// for the join-operator choice on each BGP family the difftest generators
+// emit.
+func TestShapeClassifier(t *testing.T) {
+	st, s := fixtureStore()
+	cases := []struct {
+		src  string
+		want Shape
+	}{
+		{`SELECT * WHERE { ?a <common> ?b }`, ShapeAcyclic},
+		{`SELECT * WHERE { ?a <common> ?b . ?b <common> ?c }`, ShapeAcyclic},
+		{`SELECT * WHERE { ?a <common> ?b . ?a <common> ?c . ?a <rare> ?d }`, ShapeAcyclic},
+		{`SELECT * WHERE { ?a <common> ?b . ?b <common> ?c . ?c <common> ?a }`, ShapeCyclic},
+		{`SELECT * WHERE { ?a <common> ?b . ?b <common> ?a }`, ShapeCyclic},
+		// Parallel edges: two patterns joining the same variable pair.
+		{`SELECT * WHERE { ?a <common> ?b . ?a <rare> ?b }`, ShapeCyclic},
+		{`SELECT ?x WHERE { ?x <common> ?x }`, ShapeSelfJoin},
+		// A constant endpoint breaks the would-be cycle into a path.
+		{`SELECT * WHERE { <s0> <common> ?b . ?b <common> ?c . ?c <common> <s0> }`, ShapeAcyclic},
+	}
+	for _, c := range cases {
+		p := plan(t, st, s, c.src)
+		if p.Shape != c.want {
+			t.Errorf("%s: shape %v, want %v", c.src, p.Shape, c.want)
+		}
+	}
+}
+
+// TestPreferWCOJEligibility: cyclic shape alone is not enough — hierarchy
+// expansion and selective constants must keep the pipeline.
+func TestPreferWCOJEligibility(t *testing.T) {
+	st, s := fixtureStore()
+	// A cycle through the rare relation: the pipeline's estimate starting
+	// from 2 tuples beats the AGM bound, so the tiebreak keeps the pipeline.
+	p := plan(t, st, s, `SELECT * WHERE { ?a <rare> ?b . ?b <common> ?a . ?a <common> ?b }`)
+	if p.Shape != ShapeCyclic {
+		t.Fatalf("shape %v, want cyclic", p.Shape)
+	}
+	// Acyclic plans never prefer WCOJ regardless of cost.
+	p = plan(t, st, s, `SELECT * WHERE { ?a <common> ?b . ?b <common> ?c }`)
+	if p.PreferWCOJ {
+		t.Error("acyclic plan prefers WCOJ")
+	}
+}

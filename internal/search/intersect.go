@@ -1,0 +1,114 @@
+// intersect.go — sorted-array intersection primitives for the worst-case-
+// optimal join operator (core/wcoj.go). A leapfrog intersection repeatedly
+// seeks each array to the current candidate value; the seek must be cheap
+// when the arrays are of very different sizes, so it gallops (exponential
+// probing) from the cursor before binary-searching the bracketed window —
+// the standard trick that makes a k-way intersection cost
+// O(min_len · Σ log(len_i)) instead of O(Σ len_i).
+
+package search
+
+// SeekGE returns the smallest index i in [from, len(arr)) with
+// arr[i] >= v, or len(arr) when no such element exists. It gallops from
+// the cursor: doubling probes bracket the answer in O(log distance), then a
+// binary search pins it inside the bracket. arr must be sorted ascending
+// (duplicates allowed).
+func SeekGE(arr []uint32, v uint32, from int) int {
+	n := len(arr)
+	if from < 0 {
+		from = 0
+	}
+	if from >= n || arr[from] >= v {
+		return from
+	}
+	// arr[from] < v: gallop until a probe lands at or past v.
+	bound := 1
+	for from+bound < n && arr[from+bound] < v {
+		bound <<= 1
+	}
+	lo := from + bound>>1 + 1 // last probe below v (or from itself)
+	hi := from + bound
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if arr[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Intersect appends to dst the distinct values present in every list and
+// returns the extended slice — the k-way leapfrog intersection. Lists must
+// be sorted ascending; duplicates within a list are tolerated and count
+// once. cursors is optional scratch of length >= len(lists) (allocated when
+// too short), so hot callers can amortize it. With zero lists or any empty
+// list the result is dst unchanged; with one list the distinct values of
+// that list are appended.
+func Intersect(dst []uint32, cursors []int, lists ...[]uint32) []uint32 {
+	k := len(lists)
+	if k == 0 {
+		return dst
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return dst
+		}
+	}
+	if k == 1 {
+		l := lists[0]
+		for i, v := range l {
+			if i == 0 || v != l[i-1] {
+				dst = append(dst, v)
+			}
+		}
+		return dst
+	}
+	if len(cursors) < k {
+		cursors = make([]int, k)
+	}
+	for i := 0; i < k; i++ {
+		cursors[i] = 0
+	}
+	// v is the current candidate (the max seen so far); agreed counts how
+	// many consecutive lists matched it. When all k agree, v is emitted and
+	// the last-seeking list advances past it to propose the next candidate.
+	v := lists[0][0]
+	agreed := 1
+	li := 1
+	for {
+		l := lists[li]
+		c := SeekGE(l, v, cursors[li])
+		if c == len(l) {
+			return dst
+		}
+		cursors[li] = c
+		if l[c] == v {
+			agreed++
+			if agreed == k {
+				dst = append(dst, v)
+				if v == ^uint32(0) {
+					return dst
+				}
+				c = SeekGE(l, v+1, c)
+				if c == len(l) {
+					return dst
+				}
+				cursors[li] = c
+				v = l[c]
+				agreed = 1
+			}
+		} else {
+			v = l[c]
+			agreed = 1
+		}
+		li++
+		if li == k {
+			li = 0
+		}
+	}
+}

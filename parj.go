@@ -75,6 +75,23 @@ type PanicError = governance.PanicError
 // internal/core and Table 5 of the paper.
 type Strategy = core.Strategy
 
+// JoinAlgo selects the join operator; see internal/core's wcoj.go.
+type JoinAlgo = core.JoinAlgo
+
+// Join operators.
+const (
+	// JoinAuto (the default) follows the optimizer's shape classifier:
+	// acyclic BGPs run the left-deep pipeline, cyclic and self-join BGPs
+	// run the worst-case-optimal operator when its cost estimate wins.
+	JoinAuto = core.JoinAuto
+	// JoinPipeline forces the left-deep binary-join pipeline.
+	JoinPipeline = core.JoinPipeline
+	// JoinWCOJ forces the worst-case-optimal operator on eligible plans
+	// (constant, unexpanded predicates); ineligible plans fall back to the
+	// pipeline.
+	JoinWCOJ = core.JoinWCOJ
+)
+
 // Probe strategies.
 const (
 	// AdaptiveBinary switches per probe between sequential and binary
@@ -135,6 +152,11 @@ type QueryOptions struct {
 	// Silent counts results without materializing or decoding rows — the
 	// measurement mode used in the paper's experiments.
 	Silent bool
+	// Join selects the join operator: JoinAuto (default) lets the
+	// optimizer's shape classifier decide, JoinPipeline and JoinWCOJ force
+	// one operator — the knob the differential tests and benchmarks use to
+	// A/B the pipeline against the worst-case-optimal join.
+	Join JoinAlgo
 	// Entailment evaluates the query with respect to the rdfs:subClassOf
 	// and rdfs:subPropertyOf hierarchies found in the data, by unioning
 	// tables inside the join pipeline instead of materializing implied
@@ -182,6 +204,7 @@ func (o *QueryOptions) execOptions(ctx context.Context, plan *optimizer.Plan) co
 		Threads:       o.Threads,
 		Strategy:      o.Strategy,
 		Silent:        o.Silent,
+		Join:          o.Join,
 		Context:       ctx,
 		MaxResultRows: o.MaxResultRows,
 		MemoryBudget:  o.MemoryBudget,
@@ -602,4 +625,3 @@ func (s *Store) plan(src string, entail bool) (*optimizer.Plan, error) {
 	}
 	return plan, nil
 }
-
