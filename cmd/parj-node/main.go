@@ -9,16 +9,27 @@
 // Usage:
 //
 //	parj-node -data graph.nt -addr :7070 -max-concurrent 8
+//	parj-node -warm-from http://peer1:7070,http://peer2:7070 -addr :7071
 //
 // Endpoints:
 //
-//	POST /exec     evaluate a shard range (internal/remote wire protocol)
-//	GET  /healthz  liveness
-//	GET  /readyz   readiness: 503 while loading or draining
+//	POST /exec      evaluate a shard range (internal/remote wire protocol)
+//	GET  /healthz   liveness
+//	GET  /readyz    readiness: 503 while loading or draining
+//	GET  /statz     cumulative serving stats (queries, rejections, sched)
+//	GET  /snapshot  CRC-checked snapshot stream of the replica
 //
 // The listener comes up before the replica finishes loading; /readyz flips
 // to 200 once the store is resident and back to 503 when a drain starts.
 // SIGINT/SIGTERM drains in-flight requests before exiting.
+//
+// -warm-from bootstraps a joining replica from a running peer instead of a
+// local file: the node pulls a peer's /snapshot stream (CRC-verified; a
+// peer that is draining still serves snapshots, so a successor can warm
+// from the node it replaces), retrying across the listed peers until one
+// succeeds. Only once the snapshot is resident does /readyz report 200 —
+// which is exactly when a coordinator's Reconfigure will agree to admit
+// the node into the routing table.
 package main
 
 import (
@@ -41,7 +52,9 @@ import (
 
 func main() {
 	var (
-		dataPath      = flag.String("data", "", "N-Triples or .snapshot file to load (required)")
+		dataPath      = flag.String("data", "", "N-Triples or .snapshot file to load")
+		warmFrom      = flag.String("warm-from", "", "comma-separated peer base URLs to warm a joining replica from (alternative to -data)")
+		warmTimeout   = flag.Duration("warm-timeout", 5*time.Minute, "give up warming from peers after this long")
 		addr          = flag.String("addr", ":7070", "listen address")
 		noIndex       = flag.Bool("noindex", false, "skip building ID-to-Position indexes")
 		maxConcurrent = flag.Int("max-concurrent", 8, "shard requests executing at once; further ones queue then shed (0 = unlimited)")
@@ -49,8 +62,8 @@ func main() {
 		drainTimeout  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain limit")
 	)
 	flag.Parse()
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "parj-node: -data is required")
+	if (*dataPath == "") == (*warmFrom == "") {
+		fmt.Fprintln(os.Stderr, "parj-node: exactly one of -data or -warm-from is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -73,7 +86,13 @@ func main() {
 	go func() { serveErr <- srv.ListenAndServe() }()
 
 	start := time.Now()
-	st, err := loadStore(*dataPath, !*noIndex)
+	var st *store.Store
+	var err error
+	if *warmFrom != "" {
+		st, err = warmFromPeers(strings.Split(*warmFrom, ","), *warmTimeout)
+	} else {
+		st, err = loadStore(*dataPath, !*noIndex)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parj-node: load:", err)
 		srv.Close()
@@ -107,6 +126,42 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+}
+
+// warmFromPeers pulls a CRC-checked snapshot stream from the first peer
+// that serves one, cycling through the list with backoff until the timeout.
+// A truncated or corrupt stream fails verification and moves on to the next
+// peer, so a peer dying mid-transfer delays the warmup but never poisons it.
+func warmFromPeers(peers []string, timeout time.Duration) (*store.Store, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	delay := time.Second
+	var lastErr error
+	for {
+		for _, peer := range peers {
+			peer = strings.TrimSpace(peer)
+			if peer == "" {
+				continue
+			}
+			c := remote.NewClient(peer, 0)
+			st, err := c.Snapshot(ctx)
+			c.Close()
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "parj-node: warmed from %s\n", peer)
+				return st, nil
+			}
+			lastErr = err
+			fmt.Fprintf(os.Stderr, "parj-node: warm-from %s: %v\n", peer, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("warm-from: no peer served a snapshot in %v: %w", timeout, lastErr)
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > 10*time.Second {
+			delay = 10 * time.Second
+		}
+	}
 }
 
 // loadStore reads an N-Triples file or a .snapshot into an internal store.

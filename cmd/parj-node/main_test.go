@@ -1,0 +1,33 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"parj/internal/lubm"
+	"parj/internal/remote"
+	"parj/internal/store"
+)
+
+func TestWarmFromPeers(t *testing.T) {
+	st := store.LoadTriples(lubm.Triples(1, lubm.Config{}), store.BuildOptions{BuildPosIndex: true})
+	peer := remote.NewNode(st, nil, remote.NodeOptions{})
+	srv := httptest.NewServer(peer.Handler())
+	defer srv.Close()
+
+	// First peer in the list is dead: warmup must skip past it.
+	warmed, err := warmFromPeers([]string{"http://127.0.0.1:1", srv.URL}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed.NumTriples() != st.NumTriples() {
+		t.Fatalf("warmed %d triples, peer has %d", warmed.NumTriples(), st.NumTriples())
+	}
+}
+
+func TestWarmFromPeersTimeout(t *testing.T) {
+	if _, err := warmFromPeers([]string{"http://127.0.0.1:1"}, 50*time.Millisecond); err == nil {
+		t.Fatal("warming from a dead peer must eventually fail")
+	}
+}

@@ -84,6 +84,12 @@ type RemoteOptions struct {
 	// every node (0 = unlimited).
 	MaxResultRows int64
 	MemoryBudget  int64
+
+	// HeatAlpha is the EWMA smoothing factor of the per-shard-group heat
+	// tracker (0 = default 0.2). The tracker itself is always on — it is
+	// passive aggregation of stats already on every response; acting on it
+	// (rebalancing) only happens when a policy is invoked explicitly.
+	HeatAlpha float64
 }
 
 // ShardError records which shard failed and why; Unwrap exposes the cause
@@ -124,26 +130,34 @@ type RemoteResult struct {
 // fans a query out to one replica per shard group, retries and hedges
 // around slow or failed replicas, trips per-endpoint circuit breakers, and
 // merges the shard results with coordinator-side DISTINCT/LIMIT.
+//
+// The routing table is live: Reconfigure swaps in a new replica layout
+// while queries are in flight (see topology.go), and the heat tracker
+// aggregates every response's scheduler stats into per-shard-group load
+// estimates that a RebalancePolicy can turn into promotions and demotions.
 type Remote struct {
-	opts     RemoteOptions
-	clients  [][]*remote.Client
-	breakers map[string]*resilience.Breaker
-	health   *resilience.HealthChecker
-	tracker  *resilience.LatencyTracker
-	jitter   *resilience.Jitter
-	clock    resilience.Clock
+	opts    RemoteOptions
+	tracker *resilience.LatencyTracker
+	jitter  *resilience.Jitter
+	clock   resilience.Clock
+	heat    *HeatTracker
+	health  *resilience.HealthChecker
+
+	// topoMu guards the epoch machinery in topology.go: the current
+	// epoch, retired epochs still draining, and the endpoint registry.
+	topoMu         sync.Mutex
+	cur            *epoch
+	drainingEpochs []*epoch
+	endpoints      map[string]*endpointState
+	version        int64
+	closed         bool
 }
 
 // NewRemote builds a coordinator. Close must be called to release clients
 // and the health checker.
 func NewRemote(opts RemoteOptions) (*Remote, error) {
-	if len(opts.Replicas) == 0 {
-		return nil, errors.New("cluster: no shard groups configured")
-	}
-	for s, reps := range opts.Replicas {
-		if len(reps) == 0 {
-			return nil, fmt.Errorf("cluster: shard group %d has no replicas", s)
-		}
+	if err := validateReplicas(opts.Replicas); err != nil {
+		return nil, err
 	}
 	if opts.ThreadsPerShard <= 0 {
 		opts.ThreadsPerShard = 1
@@ -152,47 +166,65 @@ func NewRemote(opts RemoteOptions) (*Remote, error) {
 		opts.Clock = resilience.RealClock{}
 	}
 	r := &Remote{
-		opts:     opts,
-		breakers: make(map[string]*resilience.Breaker),
-		tracker:  resilience.NewLatencyTracker(64),
-		jitter:   resilience.NewJitter(opts.Seed),
-		clock:    opts.Clock,
+		opts:      opts,
+		tracker:   resilience.NewLatencyTracker(64),
+		jitter:    resilience.NewJitter(opts.Seed),
+		clock:     opts.Clock,
+		heat:      NewHeatTracker(len(opts.Replicas), opts.HeatAlpha),
+		endpoints: make(map[string]*endpointState),
 	}
-	probeClients := make(map[string]*remote.Client)
-	var endpoints []string
-	for _, reps := range opts.Replicas {
-		row := make([]*remote.Client, len(reps))
-		for i, ep := range reps {
-			row[i] = remote.NewClient(ep, 0)
-			if _, seen := r.breakers[ep]; !seen {
-				r.breakers[ep] = resilience.NewBreaker(opts.Clock, opts.Breaker)
-				probeClients[ep] = row[i]
-				endpoints = append(endpoints, ep)
-			}
-		}
-		r.clients = append(r.clients, row)
-	}
+	r.topoMu.Lock()
+	r.cur = r.buildEpochLocked(opts.Replicas, nil)
+	r.topoMu.Unlock()
 	if opts.HealthInterval > 0 {
-		r.health = resilience.NewHealthChecker(opts.Clock, opts.HealthInterval, endpoints,
+		// The probe resolves the endpoint through the live registry, so
+		// replicas admitted later are probed with their own clients and
+		// retired ones stop being dialed.
+		r.health = resilience.NewHealthChecker(opts.Clock, opts.HealthInterval, distinctEndpoints(opts.Replicas),
 			func(ctx context.Context, ep string) error {
-				return probeClients[ep].Health(ctx)
+				c := r.endpointClient(ep)
+				if c == nil {
+					return nil // retired mid-sweep; verdict is moot
+				}
+				return c.Health(ctx)
 			})
 	}
 	return r, nil
 }
 
-// Close stops the health checker and releases idle connections.
-func (r *Remote) Close() {
-	r.health.Close()
-	for _, row := range r.clients {
-		for _, c := range row {
-			c.Close()
-		}
+// endpointClient resolves an endpoint to its registered client (nil if the
+// endpoint has been retired).
+func (r *Remote) endpointClient(ep string) *remote.Client {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	if st := r.endpoints[ep]; st != nil {
+		return st.client
 	}
+	return nil
 }
 
-// Shards reports the number of shard groups.
-func (r *Remote) Shards() int { return len(r.opts.Replicas) }
+// Close stops the health checker and releases every epoch and endpoint.
+func (r *Remote) Close() {
+	r.health.Close()
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.cur.retired = true
+	for _, e := range append([]*epoch{r.cur}, r.drainingEpochs...) {
+		r.releaseEpochLocked(e)
+	}
+	r.drainingEpochs = nil
+}
+
+// Shards reports the number of shard groups in the current topology.
+func (r *Remote) Shards() int {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	return len(r.cur.replicas)
+}
 
 // Execute runs query across the cluster. The coordinator parses the query
 // locally only to learn DISTINCT/LIMIT for the gather phase; planning
@@ -202,7 +234,11 @@ func (r *Remote) Execute(ctx context.Context, query string, silent bool) (*Remot
 	if err != nil {
 		return nil, err
 	}
-	S := len(r.opts.Replicas)
+	// Pin the current epoch: this query routes every attempt, retry and
+	// hedge on it, even if Reconfigure swaps the table mid-flight.
+	ep := r.pin()
+	defer r.unpin(ep)
+	S := len(ep.replicas)
 	total := S * r.opts.ThreadsPerShard
 	// DISTINCT needs the actual rows at the coordinator to dedup globally,
 	// even when the caller only wants a count.
@@ -239,7 +275,7 @@ func (r *Remote) Execute(ctx context.Context, query string, silent bool) (*Remot
 			req := base
 			req.ShardFrom = s * r.opts.ThreadsPerShard
 			req.ShardTo = (s + 1) * r.opts.ThreadsPerShard
-			resp, err := r.execShard(groupCtx, s, &req, &attempts)
+			resp, err := r.execShard(groupCtx, ep, s, &req, &attempts)
 			outs[s] = shardOut{resp: resp, err: err}
 			if err != nil && r.opts.Policy == FailFast {
 				failFastOnce.Do(cancelGroup)
@@ -272,6 +308,7 @@ func (r *Remote) Execute(ctx context.Context, query string, silent bool) (*Remot
 		}
 		res.PerShard[s] = o.resp.Count
 		res.Stats.Add(o.resp.Stats)
+		r.heat.Observe(s, o.resp.Sched)
 	}
 	res.Completeness = float64(served) / float64(S)
 	if r.opts.Policy == FailFast && firstErr != nil {
@@ -329,11 +366,12 @@ func (r *Remote) Count(ctx context.Context, query string) (int64, error) {
 	return res.Count, nil
 }
 
-// replicaOrder returns the replica indices for shard s, healthy replicas
-// first, each half rotated by the shard index so concurrent shards spread
-// across replicas instead of all hammering replica 0.
-func (r *Remote) replicaOrder(s int) []int {
-	reps := r.opts.Replicas[s]
+// replicaOrder returns the replica indices for shard s of epoch ep,
+// healthy replicas first, each half rotated by the shard index so
+// concurrent shards spread across replicas instead of all hammering
+// replica 0.
+func (r *Remote) replicaOrder(ep *epoch, s int) []int {
+	reps := ep.replicas[s]
 	var healthy, down []int
 	for i := range reps {
 		if r.health.Healthy(reps[i]) {
@@ -366,19 +404,20 @@ func (r *Remote) hedgeDelay() time.Duration {
 
 // attemptOut is one replica attempt's outcome.
 type attemptOut struct {
-	endpoint string
-	resp     *remote.ExecResponse
-	err      error
-	elapsed  time.Duration
+	breaker *resilience.Breaker
+	resp    *remote.ExecResponse
+	err     error
+	elapsed time.Duration
 }
 
 // execShard serves one shard group: it walks the shard's replica order,
 // retrying retryable failures with jittered backoff, hedging a second
 // attempt when the first is slow, and consulting each endpoint's circuit
 // breaker before sending. The first success wins; pending siblings are
-// canceled and their breaker slots released.
-func (r *Remote) execShard(ctx context.Context, s int, req *remote.ExecRequest, attempts *atomic.Int64) (*remote.ExecResponse, error) {
-	order := r.replicaOrder(s)
+// canceled and their breaker slots released. All routing state (endpoints,
+// clients, breakers) comes from the pinned epoch.
+func (r *Remote) execShard(ctx context.Context, ep *epoch, s int, req *remote.ExecRequest, attempts *atomic.Int64) (*remote.ExecResponse, error) {
+	order := r.replicaOrder(ep, s)
 	maxAttempts := r.opts.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = 2 * len(order)
@@ -396,13 +435,13 @@ func (r *Remote) execShard(ctx context.Context, s int, req *remote.ExecRequest, 
 		for probe := 0; probe < len(order); probe++ {
 			rep := order[launched%len(order)]
 			launched++
-			ep := r.opts.Replicas[s][rep]
-			if !r.breakers[ep].Allow() {
+			breaker := ep.breakers[s][rep]
+			if !breaker.Allow() {
 				continue
 			}
 			pending++
 			attempts.Add(1)
-			client := r.clients[s][rep]
+			client := ep.clients[s][rep]
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -417,7 +456,7 @@ func (r *Remote) execShard(ctx context.Context, s int, req *remote.ExecRequest, 
 				}
 				start := r.clock.Now()
 				resp, err := client.Exec(actx, req)
-				results <- attemptOut{endpoint: ep, resp: resp, err: err, elapsed: r.clock.Now().Sub(start)}
+				results <- attemptOut{breaker: breaker, resp: resp, err: err, elapsed: r.clock.Now().Sub(start)}
 			}()
 			return true
 		}
@@ -427,7 +466,7 @@ func (r *Remote) execShard(ctx context.Context, s int, req *remote.ExecRequest, 
 	// settle reports an attempt's outcome to its breaker. Attempts that
 	// died because we canceled them are abandoned, not failed.
 	settle := func(o attemptOut, abandoned bool) {
-		br := r.breakers[o.endpoint]
+		br := o.breaker
 		switch {
 		case o.err == nil:
 			br.Success()

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"parj/internal/store"
 )
 
 // TransportError is a network- or protocol-level failure talking to a
@@ -130,6 +132,89 @@ func (c *Client) Exec(ctx context.Context, req *ExecRequest) (*ExecResponse, err
 		return nil, &TransportError{Endpoint: c.endpoint, Err: fmt.Errorf("malformed response: %w", err)}
 	}
 	return &out, nil
+}
+
+// ErrNotReady reports a node that answered but is not (yet) serving
+// queries: still warming its replica, or draining. It is distinct from a
+// transport fault — the process is up, the replica isn't.
+var ErrNotReady = errors.New("remote: node not ready")
+
+// Ready probes the node's readiness endpoint: nil means the node is loaded
+// and accepting queries, ErrNotReady means it answered 503 (warming or
+// draining), and a TransportError means it could not be reached at all.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint+ReadyPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return &TransportError{Endpoint: c.endpoint, Err: err}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%s: %w", c.endpoint, ErrNotReady)
+	default:
+		return &TransportError{Endpoint: c.endpoint, Err: fmt.Errorf("readyz status %d", resp.StatusCode)}
+	}
+}
+
+// Statz fetches the node's cumulative statistics.
+func (c *Client) Statz(ctx context.Context) (*StatzResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint+StatzPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, &TransportError{Endpoint: c.endpoint, Err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, &TransportError{Endpoint: c.endpoint, Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &TransportError{Endpoint: c.endpoint, Err: fmt.Errorf("statz status %d", resp.StatusCode)}
+	}
+	var out StatzResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, &TransportError{Endpoint: c.endpoint, Err: fmt.Errorf("malformed statz: %w", err)}
+	}
+	return &out, nil
+}
+
+// Snapshot fetches the node's replica as a snapshot stream and loads it.
+// The store's v2 format carries a trailing CRC32, so a stream cut mid-body
+// (or corrupted in flight) surfaces as store.ErrCorruptSnapshot from the
+// loader — a warming replica can simply retry another peer; it can never
+// silently serve a torn replica.
+func (c *Client) Snapshot(ctx context.Context) (*store.Store, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint+SnapshotPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, &TransportError{Endpoint: c.endpoint, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return nil, fmt.Errorf("%s: snapshot source: %w", c.endpoint, ErrNotReady)
+		}
+		return nil, &TransportError{Endpoint: c.endpoint, Err: fmt.Errorf("snapshot status %d", resp.StatusCode)}
+	}
+	st, err := store.LoadSnapshot(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("remote: warming from %s: %w", c.endpoint, err)
+	}
+	return st, nil
 }
 
 // Health probes the node's liveness endpoint.

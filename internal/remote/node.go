@@ -42,6 +42,14 @@ type Node struct {
 	// nil admits everything.
 	limiter *governance.Limiter
 
+	// Cumulative /statz counters. totals is guarded by statMu; the plain
+	// counters are atomic so the hot path never takes the lock.
+	queries    atomic.Int64
+	rejections atomic.Int64
+	failures   atomic.Int64
+	statMu     sync.Mutex
+	totals     SchedTotals
+
 	// ExecStarted, when non-nil, runs at the start of every /exec request
 	// — chaos tests use it to trigger faults mid-query. Never set in
 	// production.
@@ -107,12 +115,63 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc(ReadyPath, func(w http.ResponseWriter, r *http.Request) {
 		if !n.Ready() {
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "state": n.state()})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "state": "ready"})
 	})
+	mux.HandleFunc(StatzPath, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, n.Statz())
+	})
+	mux.HandleFunc(SnapshotPath, n.handleSnapshot)
 	return mux
+}
+
+// state names the node's lifecycle phase for /readyz bodies.
+func (n *Node) state() string {
+	switch {
+	case n.draining.Load():
+		return "draining"
+	case !n.ready.Load():
+		return "warming"
+	default:
+		return "ready"
+	}
+}
+
+// Statz snapshots the cumulative counters.
+func (n *Node) Statz() *StatzResponse {
+	n.statMu.Lock()
+	totals := n.totals
+	n.statMu.Unlock()
+	return &StatzResponse{
+		Ready:      n.Ready(),
+		Triples:    n.st.NumTriples(),
+		InFlight:   n.limiter.InFlight(),
+		Queries:    n.queries.Load(),
+		Rejections: n.rejections.Load(),
+		Failures:   n.failures.Load(),
+		Sched:      totals,
+	}
+}
+
+// handleSnapshot streams the replica as a CRC-checked snapshot (format v2)
+// so a joining peer can warm from this node. Serving is gated on the
+// replica being loaded, not on Ready(): a draining node is still a valid
+// snapshot source for its successor.
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, KindInternal, errors.New("GET required"))
+		return
+	}
+	if !n.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, KindOverload, errors.New("replica not loaded"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// A write error here means the peer went away mid-stream; the trailing
+	// CRC it never received makes the truncation unambiguous on its side.
+	n.st.Save(w)
 }
 
 func (n *Node) handleExec(w http.ResponseWriter, r *http.Request) {
@@ -141,18 +200,24 @@ func (n *Node) handleExec(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	if err := n.limiter.Acquire(ctx); err != nil {
+		n.rejections.Add(1)
 		status, kind := statusKind(err)
 		writeError(w, status, kind, err)
 		return
 	}
 	defer n.limiter.Release()
 
+	n.queries.Add(1)
 	resp, err := n.exec(ctx, &req)
 	if err != nil {
+		n.failures.Add(1)
 		status, kind := statusKind(err)
 		writeError(w, status, kind, err)
 		return
 	}
+	n.statMu.Lock()
+	n.totals.Add(resp.Sched)
+	n.statMu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -187,7 +252,7 @@ func (n *Node) exec(ctx context.Context, req *ExecRequest) (*ExecResponse, error
 	if err != nil {
 		return nil, err
 	}
-	out := &ExecResponse{Count: res.Count, Vars: res.Vars, Stats: res.Stats}
+	out := &ExecResponse{Count: res.Count, Vars: res.Vars, Stats: res.Stats, Sched: res.Sched}
 	if !req.Silent {
 		out.Rows = res.Rows
 		// DISTINCT materializes rows even under Silent inside core, but

@@ -17,6 +17,7 @@ package remote
 import (
 	"fmt"
 
+	"parj/internal/core"
 	"parj/internal/governance"
 	"parj/internal/search"
 )
@@ -29,6 +30,17 @@ const HealthPath = "/healthz"
 
 // ReadyPath is the readiness endpoint.
 const ReadyPath = "/readyz"
+
+// StatzPath is the cumulative statistics endpoint: per-node query counts,
+// admission rejections, in-flight requests and summed scheduler activity —
+// the wire source a coordinator-side heat tracker polls.
+const StatzPath = "/statz"
+
+// SnapshotPath streams the node's replica as a CRC-checked snapshot
+// (store format v2). A joining replica warms from a peer by loading this
+// stream; the trailing checksum means a connection cut mid-stream is
+// detected at load, never served.
+const SnapshotPath = "/snapshot"
 
 // ExecRequest asks a node to evaluate a shard range of a query.
 type ExecRequest struct {
@@ -67,6 +79,52 @@ type ExecResponse struct {
 	Rows [][]uint32 `json:"rows,omitempty"`
 	// Stats aggregates probe-strategy statistics across the range.
 	Stats search.Stats `json:"stats"`
+	// Sched reports the node's per-worker scheduler activity for this
+	// range (morsel pulls, steals, claimed tuples, busy time). The
+	// coordinator's heat tracker aggregates it into per-shard-group load.
+	Sched core.SchedStats `json:"sched"`
+}
+
+// SchedTotals is the cumulative, cross-query sum of scheduler activity a
+// node has performed — the /statz aggregate of every ExecResponse.Sched.
+type SchedTotals struct {
+	Morsels int64 `json:"morsels"`
+	Steals  int64 `json:"steals"`
+	Claims  int64 `json:"claims"`
+	Tuples  int64 `json:"tuples"`
+	Rows    int64 `json:"rows"`
+	BusyNS  int64 `json:"busy_ns"`
+}
+
+// Add folds one query's scheduler stats into the totals.
+func (t *SchedTotals) Add(s core.SchedStats) {
+	for i := range s.Workers {
+		w := &s.Workers[i]
+		t.Morsels += w.Morsels
+		t.Steals += w.Steals
+		t.Claims += w.Claims
+		t.Tuples += w.Tuples
+		t.Rows += w.Rows
+		t.BusyNS += int64(w.Busy)
+	}
+}
+
+// StatzResponse is the /statz JSON body.
+type StatzResponse struct {
+	// Ready mirrors /readyz (loaded and not draining).
+	Ready bool `json:"ready"`
+	// Triples is the replica size.
+	Triples int `json:"triples"`
+	// InFlight is the number of /exec requests currently executing.
+	InFlight int `json:"in_flight"`
+	// Queries counts /exec requests admitted since start.
+	Queries int64 `json:"queries"`
+	// Rejections counts /exec requests shed by admission control.
+	Rejections int64 `json:"rejections"`
+	// Failures counts admitted /exec requests that returned an error.
+	Failures int64 `json:"failures"`
+	// Sched sums scheduler activity across all served queries.
+	Sched SchedTotals `json:"sched"`
 }
 
 // Error kinds: the wire form of the governance error taxonomy. The node

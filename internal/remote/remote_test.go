@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"net/http"
@@ -191,5 +192,122 @@ func TestClientConnectionRefused(t *testing.T) {
 	var te *TransportError
 	if !errors.As(err, &te) || !Retryable(err) || !NodeFault(err) {
 		t.Fatalf("refused dial returned %v; want retryable TransportError node fault", err)
+	}
+}
+
+// TestNodeStatz: the cumulative counters move with traffic — admitted
+// queries, shed queries, failures, and summed scheduler activity.
+func TestNodeStatz(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	_, c, stop := testNode(t, NodeOptions{})
+	defer stop()
+	defer c.Close()
+
+	req := &ExecRequest{Query: `SELECT ?x ?y WHERE { ?x <p> ?y }`, TotalShards: 1, ShardTo: 1}
+	resp, err := c.Exec(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Sched.Workers) == 0 || resp.Sched.TotalRows() != 3 {
+		t.Fatalf("ExecResponse.Sched = %+v, want worker stats with 3 produced rows", resp.Sched)
+	}
+	if _, err := c.Exec(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	// One failing query (unparsable) counts as admitted + failed.
+	if _, err := c.Exec(context.Background(), &ExecRequest{Query: `SELECT WHERE`, TotalShards: 1, ShardTo: 1}); err == nil {
+		t.Fatal("parse failure expected")
+	}
+
+	sz, err := c.Statz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.Queries != 3 || sz.Failures != 1 || sz.Rejections != 0 {
+		t.Fatalf("statz queries/failures/rejections = %d/%d/%d, want 3/1/0", sz.Queries, sz.Failures, sz.Rejections)
+	}
+	if sz.Sched.Rows != 6 || sz.Sched.Morsels < 2 {
+		t.Fatalf("statz sched totals = %+v, want 6 rows over >=2 morsels", sz.Sched)
+	}
+	if !sz.Ready || sz.Triples != 4 || sz.InFlight != 0 {
+		t.Fatalf("statz ready/triples/inflight = %v/%d/%d", sz.Ready, sz.Triples, sz.InFlight)
+	}
+}
+
+// TestSnapshotWarmup: a fresh replica warms from a peer's snapshot stream
+// and then answers queries identically.
+func TestSnapshotWarmup(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	_, c, stop := testNode(t, NodeOptions{})
+	defer stop()
+	defer c.Close()
+
+	st, err := c.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumTriples() != 4 {
+		t.Fatalf("warmed replica has %d triples, want 4", st.NumTriples())
+	}
+	warmed := NewNode(st, nil, NodeOptions{})
+	srv := httptest.NewServer(warmed.Handler())
+	defer srv.Close()
+	wc := NewClient(srv.URL, time.Second)
+	defer wc.Close()
+	resp, err := wc.Exec(context.Background(), &ExecRequest{
+		Query: `SELECT ?x ?y WHERE { ?x <p> ?y }`, TotalShards: 1, ShardTo: 1, Silent: true,
+	})
+	if err != nil || resp.Count != 3 {
+		t.Fatalf("warmed replica count %v err %v, want 3", resp, err)
+	}
+}
+
+// TestSnapshotCutMidStream: a snapshot stream severed before the trailing
+// CRC must fail the load with ErrCorruptSnapshot, never hand back a store.
+func TestSnapshotCutMidStream(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	n, c, stop := testNode(t, NodeOptions{})
+	defer stop()
+	defer c.Close()
+
+	// Measure the full snapshot, then serve a truncated prefix of it.
+	var whole bytes.Buffer
+	if err := n.Store().Save(&whole); err != nil {
+		t.Fatal(err)
+	}
+	cut := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(whole.Bytes()[:whole.Len()-6]) // drop the CRC and then some
+	}))
+	defer cut.Close()
+	cc := NewClient(cut.URL, time.Second)
+	defer cc.Close()
+	if _, err := cc.Snapshot(context.Background()); !errors.Is(err, store.ErrCorruptSnapshot) {
+		t.Fatalf("cut stream returned %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+// TestClientReady distinguishes "warming" (ErrNotReady) from transport
+// failure.
+func TestClientReady(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	n, c, stop := testNode(t, NodeOptions{NotReady: true})
+	defer stop()
+	defer c.Close()
+
+	if err := c.Ready(context.Background()); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("warming node: %v, want ErrNotReady", err)
+	}
+	if _, err := c.Snapshot(context.Background()); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("snapshot from warming node: %v, want ErrNotReady", err)
+	}
+	n.SetReady(true)
+	if err := c.Ready(context.Background()); err != nil {
+		t.Fatalf("ready node: %v", err)
+	}
+	dead := NewClient("http://127.0.0.1:1", time.Second)
+	defer dead.Close()
+	var te *TransportError
+	if err := dead.Ready(context.Background()); !errors.As(err, &te) {
+		t.Fatalf("dead node: %v, want TransportError", err)
 	}
 }

@@ -32,6 +32,13 @@ type Fault struct {
 	CutResponseAfter int
 	// Garbage responds with bytes that are not valid HTTP at all.
 	Garbage bool
+	// TrickleBytes, when > 0, forwards the response in chunks of that many
+	// bytes with TrickleDelay between chunks — a slow-loris replica that
+	// keeps the connection alive while starving the reader. Unlike Delay
+	// (one stall before the first byte), a trickle defeats first-byte
+	// timeouts; only a per-attempt deadline bounds it.
+	TrickleBytes int
+	TrickleDelay time.Duration
 	// KillAfter kills the whole proxy once this connection ends: the
 	// replica is gone for the rest of the test.
 	KillAfter bool
@@ -49,6 +56,19 @@ func None(int) Fault { return Fault{} }
 func CutFirstThenKill(n int) Script {
 	return func(conn int) Fault {
 		return Fault{CutResponseAfter: n, KillAfter: true}
+	}
+}
+
+// SlowLoris scripts a replica that answers every connection byte-by-byte:
+// chunk response bytes every delay. The connection never dies and never
+// completes within any reasonable deadline — the scenario only per-attempt
+// timeouts (and hedges racing them) can recover from.
+func SlowLoris(chunk int, delay time.Duration) Script {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return func(conn int) Fault {
+		return Fault{TrickleBytes: chunk, TrickleDelay: delay}
 	}
 }
 
@@ -239,6 +259,26 @@ func (p *Proxy) handle(client net.Conn, f Fault) {
 		hardClose(client)
 		hardClose(server)
 		return
+	}
+	if f.TrickleBytes > 0 {
+		// Drip the response until either side gives up (the client closing
+		// its end — e.g. a per-attempt timeout — breaks the copy), or the
+		// proxy is killed (hardClose breaks it too).
+		for {
+			if _, err := io.CopyN(client, server, int64(f.TrickleBytes)); err != nil {
+				if err == io.EOF {
+					// Response actually finished; deliver it cleanly so a
+					// patient reader still gets a valid reply.
+					client.Close()
+					server.Close()
+				} else {
+					hardClose(client)
+					hardClose(server)
+				}
+				return
+			}
+			time.Sleep(f.TrickleDelay)
+		}
 	}
 	io.Copy(client, server)
 	client.Close()

@@ -11,24 +11,31 @@ import (
 // so a node that stops answering its health endpoint is routed around even
 // before its circuit breaker trips — and a recovered node is routed back to
 // without waiting for a live request to probe it.
+//
+// The target set is live: SetTargets swaps it while the checker runs, which
+// is what a reconfigurable topology needs — a freshly admitted replica is
+// probed on the next sweep and a retired one stops being probed at all.
 type HealthChecker struct {
 	probe    func(ctx context.Context, target string) error
 	interval time.Duration
 	timeout  time.Duration
 	clock    Clock
 
-	mu   sync.Mutex
-	down map[string]bool
+	mu      sync.Mutex
+	targets []string
+	down    map[string]bool
 
 	stop chan struct{}
 	done chan struct{}
-	wake chan struct{} // tests poke this to trigger an immediate sweep
+	wake chan struct{} // tests and SetTargets poke this to trigger a sweep
 }
 
 // NewHealthChecker starts a checker over targets, probing each one every
-// interval (per-probe timeout interval/2, floor 50ms). Targets start
-// healthy — the first sweep demotes dead ones. Close must be called to stop
-// the background goroutine. A nil clock uses the wall clock.
+// interval (per-probe timeout interval/2, floor 50ms). The first sweep runs
+// immediately — a just-constructed checker must not report a dead endpoint
+// healthy for a whole interval just because no tick has fired yet. Close
+// must be called to stop the background goroutine. A nil clock uses the
+// wall clock.
 func NewHealthChecker(clock Clock, interval time.Duration, targets []string, probe func(ctx context.Context, target string) error) *HealthChecker {
 	if clock == nil {
 		clock = RealClock{}
@@ -45,6 +52,7 @@ func NewHealthChecker(clock Clock, interval time.Duration, targets []string, pro
 		interval: interval,
 		timeout:  timeout,
 		clock:    clock,
+		targets:  append([]string(nil), targets...),
 		down:     make(map[string]bool, len(targets)),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -53,33 +61,63 @@ func NewHealthChecker(clock Clock, interval time.Duration, targets []string, pro
 	for _, t := range targets {
 		h.down[t] = false
 	}
-	go h.run(targets)
+	go h.run()
 	return h
 }
 
-func (h *HealthChecker) run(targets []string) {
+func (h *HealthChecker) run() {
 	defer close(h.done)
 	for {
+		h.sweep()
 		select {
 		case <-h.stop:
 			return
 		case <-h.clock.After(h.interval):
 		case <-h.wake:
 		}
-		for _, t := range targets {
-			select {
-			case <-h.stop:
-				return
-			default:
-			}
-			ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
-			err := h.probe(ctx, t)
-			cancel()
-			h.mu.Lock()
-			h.down[t] = err != nil
-			h.mu.Unlock()
-		}
 	}
+}
+
+// sweep probes every current target once.
+func (h *HealthChecker) sweep() {
+	h.mu.Lock()
+	targets := append([]string(nil), h.targets...)
+	h.mu.Unlock()
+	for _, t := range targets {
+		select {
+		case <-h.stop:
+			return
+		default:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
+		err := h.probe(ctx, t)
+		cancel()
+		h.mu.Lock()
+		// A target retired mid-sweep must not be resurrected in the map.
+		if _, live := h.down[t]; live {
+			h.down[t] = err != nil
+		}
+		h.mu.Unlock()
+	}
+}
+
+// SetTargets replaces the probed set. New targets start healthy (advisory
+// until the next sweep demotes them); removed targets are forgotten. A
+// sweep is triggered immediately so membership changes take effect without
+// waiting out the interval.
+func (h *HealthChecker) SetTargets(targets []string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	next := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		next[t] = h.down[t] // carry the last verdict for survivors
+	}
+	h.targets = append(h.targets[:0:0], targets...)
+	h.down = next
+	h.mu.Unlock()
+	h.CheckNow()
 }
 
 // Healthy reports the last verdict for target (unknown targets read

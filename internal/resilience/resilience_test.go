@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -98,6 +99,57 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	}
 }
 
+// TestBreakerHalfOpenProbeContention races N callers for the single
+// half-open probe slot: exactly one must be admitted, and the breaker must
+// converge open (probe failed) or closed (probe succeeded) regardless of
+// how the losers interleave. Run under -race, this also proves the slot
+// accounting is data-race-free.
+func TestBreakerHalfOpenProbeContention(t *testing.T) {
+	for _, probeOK := range []bool{true, false} {
+		clk := NewFakeClock(time.Unix(0, 0))
+		b := NewBreaker(clk, BreakerOptions{FailureThreshold: 1, OpenFor: time.Second, HalfOpenProbes: 1})
+		b.Failure() // trip it
+		clk.Advance(time.Second)
+
+		const N = 32
+		var admitted atomic.Int64
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(N)
+		for i := 0; i < N; i++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if got := admitted.Load(); got != 1 {
+			t.Fatalf("probeOK=%v: %d concurrent probes admitted, want exactly 1", probeOK, got)
+		}
+		if probeOK {
+			b.Success()
+			if b.State() != Closed {
+				t.Fatalf("state %v after probe success, want closed", b.State())
+			}
+			if !b.Allow() {
+				t.Fatal("closed breaker rejected")
+			}
+		} else {
+			b.Failure()
+			if b.State() != Open {
+				t.Fatalf("state %v after probe failure, want open", b.State())
+			}
+			if b.Allow() {
+				t.Fatal("reopened breaker admitted a request")
+			}
+		}
+	}
+}
+
 func TestBackoffDeterministicAndBounded(t *testing.T) {
 	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2}
 	d1 := make([]time.Duration, 6)
@@ -185,10 +237,8 @@ func TestHealthCheckerFailover(t *testing.T) {
 		})
 	defer h.Close()
 
-	if !h.Healthy("a") || !h.Healthy("b") {
-		t.Fatal("targets must start healthy")
-	}
-	h.CheckNow()
+	// The immediate start-up sweep demotes b without CheckNow and without
+	// waiting out the one-hour interval.
 	waitFor(t, func() bool { return !h.Healthy("b") })
 	if !h.Healthy("a") {
 		t.Fatal("a demoted incorrectly")
@@ -199,6 +249,45 @@ func TestHealthCheckerFailover(t *testing.T) {
 	mu.Unlock()
 	h.CheckNow()
 	waitFor(t, func() bool { return h.Healthy("b") })
+}
+
+// TestHealthCheckerProbesImmediately is the regression test for the
+// start-up gap: a just-constructed checker used to report every endpoint
+// healthy until the first interval tick. With a FakeClock that is never
+// advanced, the only way the dead target can be demoted is the immediate
+// first sweep.
+func TestHealthCheckerProbesImmediately(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	clk := NewFakeClock(time.Unix(0, 0))
+	h := NewHealthChecker(clk, time.Hour, []string{"dead"},
+		func(ctx context.Context, target string) error { return errors.New("down") })
+	defer h.Close()
+	waitFor(t, func() bool { return !h.Healthy("dead") })
+}
+
+func TestHealthCheckerSetTargets(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	var mu sync.Mutex
+	dead := map[string]bool{"a": true, "b": true}
+	h := NewHealthChecker(RealClock{}, time.Hour, []string{"a"},
+		func(ctx context.Context, target string) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if dead[target] {
+				return errors.New("down")
+			}
+			return nil
+		})
+	defer h.Close()
+	waitFor(t, func() bool { return !h.Healthy("a") })
+
+	// Swap membership: a retired, b joins — b starts healthy (advisory)
+	// and the triggered sweep demotes it; a's stale verdict is forgotten.
+	h.SetTargets([]string{"b"})
+	waitFor(t, func() bool { return !h.Healthy("b") })
+	if !h.Healthy("a") {
+		t.Fatal("retired target must read healthy (unknown = advisory pass)")
+	}
 }
 
 func TestHealthCheckerCloseStopsGoroutine(t *testing.T) {
