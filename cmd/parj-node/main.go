@@ -59,6 +59,8 @@ func main() {
 		noIndex       = flag.Bool("noindex", false, "skip building ID-to-Position indexes")
 		maxConcurrent = flag.Int("max-concurrent", 8, "shard requests executing at once; further ones queue then shed (0 = unlimited)")
 		admissionWait = flag.Duration("admission-wait", 2*time.Second, "how long an over-admission request queues before 503")
+		admissionTgt  = flag.Duration("admission-target", 0, "acceptable admission-queue sojourn; > 0 enables the adaptive (CoDel-style) controller")
+		admissionIntv = flag.Duration("admission-interval", 0, "adaptive controller window (0 = default)")
 		drainTimeout  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain limit")
 	)
 	flag.Parse()
@@ -99,8 +101,10 @@ func main() {
 		os.Exit(1)
 	}
 	node := remote.NewNode(st, nil, remote.NodeOptions{
-		MaxConcurrent: *maxConcurrent,
-		AdmissionWait: *admissionWait,
+		MaxConcurrent:     *maxConcurrent,
+		AdmissionWait:     *admissionWait,
+		AdmissionTarget:   *admissionTgt,
+		AdmissionInterval: *admissionIntv,
 	})
 	nodePtr.Store(node)
 	fmt.Fprintf(os.Stderr, "replica loaded: %d triples in %v; serving on %s\n",

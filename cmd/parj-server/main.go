@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -51,8 +52,11 @@ func main() {
 		timeout       = flag.Duration("timeout", 30*time.Second, "per-query wall-clock limit (0 = none)")
 		maxConcurrent = flag.Int("max-concurrent", 8, "queries executing at once; further ones queue then shed (0 = unlimited)")
 		admissionWait = flag.Duration("admission-wait", 2*time.Second, "how long an over-admission query queues before 503")
+		admTarget     = flag.Duration("admission-target", 0, "adaptive admission: shed once queue sojourn stays above this target (0 = fixed-wait queue)")
+		admInterval   = flag.Duration("admission-interval", 0, "adaptive admission control window (0 = 100ms default)")
 		maxRows       = flag.Int64("max-rows", 10_000_000, "per-query produced-row budget (0 = unlimited)")
 		memBudget     = flag.Int64("memory-budget", 1<<30, "per-query materialized-result byte budget (0 = unlimited)")
+		sharedBudget  = flag.Int64("shared-memory-budget", 0, "materialized-result byte budget shared across ALL concurrent queries (0 = unlimited)")
 		drainTimeout  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain limit")
 	)
 	flag.Parse()
@@ -85,6 +89,9 @@ func main() {
 		DB: parj.DBOptions{
 			MaxConcurrentQueries: *maxConcurrent,
 			AdmissionWait:        *admissionWait,
+			AdmissionTarget:      *admTarget,
+			AdmissionInterval:    *admInterval,
+			SharedMemoryBudget:   *sharedBudget,
 		},
 	})
 	if err != nil {
@@ -213,6 +220,24 @@ func newStateHandler(state *serverState, base parj.QueryOptions) http.Handler {
 		json.NewEncoder(w).Encode(map[string]any{"ready": true})
 	})
 
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{"ready": state.ready()}
+		if db := state.store(); db != nil {
+			a := db.AdmissionStats()
+			body["triples"] = db.NumTriples()
+			body["in_flight"] = a.InFlight
+			body["admitted"] = a.Admitted
+			body["sheds"] = a.Sheds
+			body["expired"] = a.Expired
+			body["queue_delay_ms"] = float64(a.QueueDelay) / float64(time.Millisecond)
+			body["shedding"] = a.Shedding
+			body["pool_used"] = a.PoolUsed
+			body["pool_capacity"] = a.PoolCapacity
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(body)
+	})
+
 	return mux
 }
 
@@ -263,7 +288,13 @@ func statusFor(err error) int {
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		// The adaptive admission controller attaches a backoff hint to its
+		// sheds; surface it (rounded up to whole seconds, minimum 1).
+		secs := int((parj.RetryAfter(err) + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})

@@ -366,18 +366,29 @@ func (r *Remote) Count(ctx context.Context, query string) (int64, error) {
 	return res.Count, nil
 }
 
-// replicaOrder returns the replica indices for shard s of epoch ep,
-// healthy replicas first, each half rotated by the shard index so
-// concurrent shards spread across replicas instead of all hammering
-// replica 0.
+// replicaOrder returns the replica indices for shard s of epoch ep in
+// routing preference order. Replicas split into three tiers: ready
+// (healthy, not inside a shed backoff window), shedding (healthy but
+// recently rejected work with an overload — still eligible, because when
+// every peer is also busy a busy replica beats no replica), and down
+// (failing health probes). Within the ready tier the leader is chosen by
+// power-of-two-choices: sample two distinct candidates from the seeded
+// jitter stream and lead with the one carrying fewer in-flight attempts
+// (smoothed latency as tiebreak) — the classic result that two random
+// choices track load nearly as well as global knowledge, without a
+// coordination point. The rest of each tier rotates by shard index so
+// concurrent shards spread instead of all hammering one replica.
 func (r *Remote) replicaOrder(ep *epoch, s int) []int {
 	reps := ep.replicas[s]
-	var healthy, down []int
+	var ready, shedding, down []int
 	for i := range reps {
-		if r.health.Healthy(reps[i]) {
-			healthy = append(healthy, i)
-		} else {
+		switch {
+		case !r.health.Healthy(reps[i]):
 			down = append(down, i)
+		case ep.loads[s][i].Overloaded():
+			shedding = append(shedding, i)
+		default:
+			ready = append(ready, i)
 		}
 	}
 	rotate := func(xs []int) []int {
@@ -387,7 +398,48 @@ func (r *Remote) replicaOrder(ep *epoch, s int) []int {
 		k := s % len(xs)
 		return append(xs[k:], xs[:k]...)
 	}
-	return append(rotate(healthy), rotate(down)...)
+	if len(ready) >= 2 {
+		a := r.jitter.Intn(len(ready))
+		b := r.jitter.Intn(len(ready) - 1)
+		if b >= a {
+			b++
+		}
+		if ep.loads[s][ready[b]].Less(ep.loads[s][ready[a]]) {
+			a, b = b, a
+		}
+		lead := []int{ready[a], ready[b]}
+		var rest []int
+		for _, i := range rotate(ready) {
+			if i != ready[a] && i != ready[b] {
+				rest = append(rest, i)
+			}
+		}
+		ready = append(lead, rest...)
+	}
+	return append(append(ready, rotate(shedding)...), rotate(down)...)
+}
+
+// saturated reports whether at least half of the epoch's distinct
+// endpoints are inside a shed backoff window — the tier as a whole is
+// overloaded, not one replica. Hedging is suppressed in that state: a
+// hedge helps when one replica is slow among idle peers, but against a
+// saturated tier it only doubles the offered load and feeds the storm.
+func (r *Remote) saturated(ep *epoch) bool {
+	total, over := 0, 0
+	seen := make(map[string]bool)
+	for s, reps := range ep.replicas {
+		for i, e := range reps {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			total++
+			if ep.loads[s][i].Overloaded() {
+				over++
+			}
+		}
+	}
+	return total > 0 && over*2 >= total
 }
 
 // hedgeDelay decides the current hedging delay: the configured latency
@@ -442,6 +494,22 @@ func (r *Remote) execShard(ctx context.Context, ep *epoch, s int, req *remote.Ex
 			pending++
 			attempts.Add(1)
 			client := ep.clients[s][rep]
+			load := ep.loads[s][rep]
+			// Deadline propagation: stamp this attempt with the client's
+			// remaining budget, measured now — a retry after a slow first
+			// attempt carries a smaller budget than the first did, and the
+			// node refuses outright once the budget drops below its queue
+			// delay. Context deadlines are wall-clock, so the budget is
+			// computed against wall time even when r.clock is injected.
+			areq := *req
+			if dl, ok := ctx.Deadline(); ok {
+				budgetMS := time.Until(dl).Milliseconds()
+				if budgetMS < 1 {
+					budgetMS = 1 // expired budgets fail via ctx, not a 0="no deadline" wire value
+				}
+				areq.DeadlineBudgetMS = budgetMS
+			}
+			load.Start()
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -455,8 +523,26 @@ func (r *Remote) execShard(ctx context.Context, ep *epoch, s int, req *remote.Ex
 					defer cancel()
 				}
 				start := r.clock.Now()
-				resp, err := client.Exec(actx, req)
-				results <- attemptOut{breaker: breaker, resp: resp, err: err, elapsed: r.clock.Now().Sub(start)}
+				resp, err := client.Exec(actx, &areq)
+				elapsed := r.clock.Now().Sub(start)
+				switch {
+				case err == nil:
+					load.Finish(elapsed)
+				case remote.Overloaded(err):
+					// Feed the routing signal: back this endpoint off for
+					// the node's own Retry-After hint (default 1s) so the
+					// next replicaOrder prefers its peers.
+					load.Abort()
+					retryAfter := time.Second
+					var ne *remote.NodeError
+					if errors.As(err, &ne) && ne.RetryAfter > 0 {
+						retryAfter = ne.RetryAfter
+					}
+					load.MarkOverloaded(retryAfter)
+				default:
+					load.Abort()
+				}
+				results <- attemptOut{breaker: breaker, resp: resp, err: err, elapsed: elapsed}
 			}()
 			return true
 		}
@@ -464,12 +550,18 @@ func (r *Remote) execShard(ctx context.Context, ep *epoch, s int, req *remote.Ex
 	}
 
 	// settle reports an attempt's outcome to its breaker. Attempts that
-	// died because we canceled them are abandoned, not failed.
+	// died because we canceled them are abandoned, not failed. Overload is
+	// never a breaker failure: a 503 is the node's admission control doing
+	// its job, and opening the breaker on it would evict a healthy-but-busy
+	// replica and dump its traffic on peers — the launch goroutine already
+	// fed it into the endpoint's load signal instead.
 	settle := func(o attemptOut, abandoned bool) {
 		br := o.breaker
 		switch {
 		case o.err == nil:
 			br.Success()
+		case remote.Overloaded(o.err):
+			br.Abandon()
 		case abandoned && !remote.NodeFault(o.err):
 			br.Abandon()
 		case remote.NodeFault(o.err):
@@ -493,6 +585,11 @@ func (r *Remote) execShard(ctx context.Context, ep *epoch, s int, req *remote.Ex
 		return nil, fmt.Errorf("cluster: shard %d: all replica breakers open: %w", s, governance.ErrOverloaded)
 	}
 	hedge := r.hedgeDelay()
+	if hedge > 0 && r.saturated(ep) {
+		// Hedge suppression: with half the tier shedding, a duplicate
+		// attempt is pure storm amplification, not tail-latency insurance.
+		hedge = 0
+	}
 	var hedgeCh <-chan time.Time
 	if hedge > 0 && launched < maxAttempts {
 		hedgeCh = r.clock.After(hedge)

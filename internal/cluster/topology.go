@@ -28,6 +28,7 @@ type epoch struct {
 	replicas [][]string
 	clients  [][]*remote.Client
 	breakers [][]*resilience.Breaker
+	loads    [][]*resilience.LoadSignal
 
 	inflight int  // queries currently pinned to this epoch
 	retired  bool // no longer current; release when inflight hits 0
@@ -38,6 +39,7 @@ type epoch struct {
 type endpointState struct {
 	client  *remote.Client
 	breaker *resilience.Breaker
+	load    *resilience.LoadSignal
 	refs    int // number of unreleased epochs referencing the endpoint
 }
 
@@ -87,6 +89,7 @@ func (r *Remote) buildEpochLocked(replicas [][]string, prebuilt map[string]*remo
 	for _, reps := range e.replicas {
 		crow := make([]*remote.Client, len(reps))
 		brow := make([]*resilience.Breaker, len(reps))
+		lrow := make([]*resilience.LoadSignal, len(reps))
 		for i, ep := range reps {
 			st := r.endpoints[ep]
 			if st == nil {
@@ -94,7 +97,11 @@ func (r *Remote) buildEpochLocked(replicas [][]string, prebuilt map[string]*remo
 				if c == nil {
 					c = remote.NewClient(ep, 0)
 				}
-				st = &endpointState{client: c, breaker: resilience.NewBreaker(r.clock, r.opts.Breaker)}
+				st = &endpointState{
+					client:  c,
+					breaker: resilience.NewBreaker(r.clock, r.opts.Breaker),
+					load:    resilience.NewLoadSignal(r.clock),
+				}
 				r.endpoints[ep] = st
 			} else if pc := prebuilt[ep]; pc != nil && pc != st.client {
 				pc.Close() // raced with a concurrent admit; keep the registered one
@@ -105,9 +112,11 @@ func (r *Remote) buildEpochLocked(replicas [][]string, prebuilt map[string]*remo
 			}
 			crow[i] = st.client
 			brow[i] = st.breaker
+			lrow[i] = st.load
 		}
 		e.clients = append(e.clients, crow)
 		e.breakers = append(e.breakers, brow)
+		e.loads = append(e.loads, lrow)
 	}
 	return e
 }

@@ -125,6 +125,12 @@ type Options struct {
 	// governance.ErrBudgetExceeded. Silent, non-materializing execution
 	// charges nothing. 0 = unlimited.
 	MemoryBudget int64
+	// MemPool, when non-nil, is the store-wide shared memory budget this
+	// query charges materialized bytes against in addition to its own
+	// MemoryBudget; exhaustion fails the query with
+	// governance.ErrBudgetExceeded. The engine releases the query's pool
+	// reservation when execution finishes.
+	MemPool *governance.Pool
 	// CheckInterval overrides governance.DefaultCheckInterval between two
 	// governance checks (0 = default). The optimizer's cardinality estimate
 	// can suggest a tighter interval for plans expected to run long; see
@@ -138,6 +144,7 @@ func (o *Options) governanceConfig() governance.Config {
 		Context:       o.Context,
 		MaxResultRows: o.MaxResultRows,
 		MemoryBudget:  o.MemoryBudget,
+		MemPool:       o.MemPool,
 		CheckInterval: o.CheckInterval,
 	}
 }
@@ -321,6 +328,7 @@ func ExecuteShardRange(st *store.Store, plan *optimizer.Plan, opts Options, from
 	// constrain the query, so ungoverned execution pays nothing per step.
 	gov := governance.New(opts.governanceConfig())
 	governed := opts.governanceConfig().Enabled()
+	defer gov.ReleasePool()
 
 	var workers []*worker
 	if opts.StaticShards {

@@ -76,6 +76,7 @@ func ExecuteStream(st *store.Store, plan *optimizer.Plan, opts Options, sink fun
 	// result, so only bounded batch buffers are alive at any moment.
 	gov := governance.New(opts.governanceConfig())
 	governed := opts.governanceConfig().Enabled()
+	defer gov.ReleasePool()
 
 	// Workers push row batches into a channel; one collector drains it.
 	// Batching keeps channel traffic off the per-row hot path.

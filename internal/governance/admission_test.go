@@ -1,0 +1,287 @@
+package governance
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parj/internal/resilience"
+)
+
+// fakeDeadlineCtx carries a deadline for the limiter to read without the
+// stdlib's wall-clock auto-cancellation — the deadline is interpreted
+// against the injected FakeClock, which the real context package knows
+// nothing about.
+type fakeDeadlineCtx struct {
+	context.Context
+	dl time.Time
+}
+
+func (c fakeDeadlineCtx) Deadline() (time.Time, bool) { return c.dl, true }
+
+// waitForWaiters polls until n timers are registered on the fake clock.
+// Abandoned timers stay registered until they fire, so callers pass a
+// cumulative count (clk.Waiters() before spawning, plus one).
+func waitForWaiters(t *testing.T, clk *resilience.FakeClock, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d clock waiters", n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestAdaptiveLimiterSheddingHysteresis drives the CoDel state machine on
+// a FakeClock: one above-target sojourn must not flip shedding, sojourn
+// sustained above target for a full interval must, and a single
+// below-target admission must flip it back.
+func TestAdaptiveLimiterSheddingHysteresis(t *testing.T) {
+	clk := resilience.NewFakeClock(time.Unix(0, 0))
+	l := NewAdaptiveLimiter(AdmissionOptions{
+		MaxConcurrent: 1,
+		MaxWait:       time.Second,
+		Target:        5 * time.Millisecond,
+		Interval:      100 * time.Millisecond,
+		Clock:         clk,
+	})
+
+	// Seed: fast-path admission, zero sojourn.
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// queued parks one more Acquire behind the held slot.
+	queued := func(ctx context.Context) chan error {
+		base := clk.Waiters()
+		ch := make(chan error, 1)
+		go func() { ch <- l.Acquire(ctx) }()
+		waitForWaiters(t, clk, base+1)
+		return ch
+	}
+
+	// Sojourn above target but shorter than an interval: admitted, and the
+	// controller must only note the excursion.
+	ch := queued(context.Background())
+	clk.Advance(10 * time.Millisecond)
+	l.Release()
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Shedding {
+		t.Fatal("one above-target sojourn flipped shedding — hysteresis lost")
+	}
+
+	// A second above-target sojourn lands a full interval after the first
+	// excursion began: now shedding starts.
+	ch = queued(context.Background())
+	clk.Advance(110 * time.Millisecond)
+	l.Release()
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+	if !l.Stats().Shedding {
+		t.Fatal("sojourn above target across a full interval did not start shedding")
+	}
+
+	// In shedding mode a queued arrival waits only Target before it is
+	// refused with a typed, hinted overload.
+	ch = queued(context.Background())
+	clk.Advance(5 * time.Millisecond)
+	err := <-ch
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("shed error = %v, want ErrOverloaded", err)
+	}
+	if hint := RetryAfterHint(err, 0); hint < 100*time.Millisecond {
+		t.Fatalf("Retry-After hint = %v, want at least the control interval", hint)
+	}
+	if st := l.Stats(); st.Sheds != 1 {
+		t.Fatalf("sheds = %d, want 1", st.Sheds)
+	}
+
+	// One below-target admission (free slot, zero sojourn) exits shedding.
+	l.Release()
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Shedding {
+		t.Fatal("below-target admission did not exit shedding")
+	}
+	l.Release()
+}
+
+// TestAdaptiveLimiterDeadlineRefusal: while saturated, an arrival whose
+// remaining budget is below the queue-delay estimate is refused on arrival
+// as a deadline error (never an overload), and a deadline that binds the
+// queue wait expires as a deadline error too.
+func TestAdaptiveLimiterDeadlineRefusal(t *testing.T) {
+	clk := resilience.NewFakeClock(time.Unix(0, 0))
+	l := NewAdaptiveLimiter(AdmissionOptions{
+		MaxConcurrent: 1,
+		MaxWait:       time.Second,
+		Target:        time.Millisecond,
+		Interval:      10 * time.Millisecond,
+		Clock:         clk,
+	})
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a 50ms sojourn so the estimate rises well above small budgets.
+	ch := make(chan error, 1)
+	base := clk.Waiters()
+	go func() { ch <- l.Acquire(context.Background()) }()
+	waitForWaiters(t, clk, base+1)
+	clk.Advance(50 * time.Millisecond)
+	l.Release()
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+	if est := l.QueueDelayEstimate(); est < 5*time.Millisecond {
+		t.Fatalf("estimate = %v after a 50ms sojourn, want a two-digit-ms figure", est)
+	}
+	if !l.Saturated() {
+		t.Fatal("slot is held, limiter should report saturated")
+	}
+
+	// Saturated + budget below estimate: refused on arrival.
+	small := fakeDeadlineCtx{context.Background(), clk.Now().Add(2 * time.Millisecond)}
+	err := l.Acquire(small)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired-on-arrival err = %v, want ErrDeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatal("deadline refusal must not also be typed ErrOverloaded")
+	}
+	if st := l.Stats(); st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+
+	// Budget above the estimate queues; when the deadline binds the wait,
+	// expiry is a deadline error, not a shed.
+	bigger := fakeDeadlineCtx{context.Background(), clk.Now().Add(70 * time.Millisecond)}
+	base = clk.Waiters()
+	go func() { ch <- l.Acquire(bigger) }()
+	waitForWaiters(t, clk, base+1)
+	clk.Advance(70 * time.Millisecond)
+	err = <-ch
+	if !errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrOverloaded) {
+		t.Fatalf("deadline-bound queue expiry = %v, want pure ErrDeadlineExceeded", err)
+	}
+}
+
+// TestAdaptiveLimiterEstimateCannotLatch is the regression for a starvation
+// mode: when the sojourn estimate exceeds every client's budget but a slot
+// is FREE, the arrival must be admitted (the estimate is stale by
+// definition) — and that admission is what decays the estimate. Refusing
+// before trying the fast path would lock every small-budget client out of
+// an idle store forever.
+func TestAdaptiveLimiterEstimateCannotLatch(t *testing.T) {
+	clk := resilience.NewFakeClock(time.Unix(0, 0))
+	l := NewAdaptiveLimiter(AdmissionOptions{
+		MaxConcurrent: 1,
+		MaxWait:       time.Second,
+		Target:        time.Millisecond,
+		Interval:      10 * time.Millisecond,
+		Clock:         clk,
+	})
+
+	// Latch the estimate high: hold the slot, park a waiter 500ms.
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan error, 1)
+	base := clk.Waiters()
+	go func() { ch <- l.Acquire(context.Background()) }()
+	waitForWaiters(t, clk, base+1)
+	clk.Advance(500 * time.Millisecond)
+	l.Release()
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+	l.Release() // both slots back; limiter idle, estimate ~150ms
+
+	if l.Saturated() {
+		t.Fatal("limiter is idle, must not report saturated")
+	}
+	est := l.QueueDelayEstimate()
+	if est <= 10*time.Millisecond {
+		t.Fatalf("estimate = %v, expected it latched high for this test", est)
+	}
+
+	// An idle limiter must admit a budget far below the stale estimate.
+	small := fakeDeadlineCtx{context.Background(), clk.Now().Add(est / 10)}
+	if err := l.Acquire(small); err != nil {
+		t.Fatalf("free slot refused a small-budget arrival on a stale estimate: %v", err)
+	}
+	l.Release()
+	if now := l.QueueDelayEstimate(); now >= est {
+		t.Fatalf("fast-path admission did not decay the estimate: %v -> %v", est, now)
+	}
+}
+
+// TestLimiterDeadlineClamp is the regression for the fixed-wait limiter:
+// the queue wait is clamped to the caller's remaining deadline, and when
+// the deadline binds, the error is ErrDeadlineExceeded — the caller ran
+// out of budget; the store was not necessarily overloaded.
+func TestLimiterDeadlineClamp(t *testing.T) {
+	l := NewLimiter(1, 10*time.Second)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := l.Acquire(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatal("deadline-bound expiry must not be typed ErrOverloaded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Acquire queued %v — the 10s wait was not clamped to the 30ms deadline", elapsed)
+	}
+}
+
+// TestPoolConcurrentCharges: racing charges against one pool admit exactly
+// capacity/size winners, losers reserve nothing, and releases restore the
+// pool fully.
+func TestPoolConcurrentCharges(t *testing.T) {
+	p := NewPool(1000)
+	var wg sync.WaitGroup
+	var won atomic.Int64
+	for i := 0; i < 150; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if p.TryCharge(10) {
+				won.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if won.Load() != 100 {
+		t.Fatalf("%d charges won, want exactly 100", won.Load())
+	}
+	if p.Used() != 1000 {
+		t.Fatalf("used = %d, want 1000", p.Used())
+	}
+	if p.TryCharge(1) {
+		t.Fatal("full pool admitted another charge")
+	}
+	p.Release(1000)
+	if p.Used() != 0 {
+		t.Fatalf("used after full release = %d, want 0", p.Used())
+	}
+	if !p.TryCharge(1000) {
+		t.Fatal("drained pool refused a full-capacity charge")
+	}
+}

@@ -95,9 +95,11 @@ type Governor struct {
 
 	maxRows int64 // produced-row budget; 0 = unlimited
 	maxMem  int64 // materialized-byte budget; 0 = unlimited
+	pool    *Pool // store-wide shared memory budget; nil = none
 
-	rows atomic.Int64 // rows produced across workers (flushed amortized)
-	mem  atomic.Int64 // bytes materialized across workers
+	rows   atomic.Int64 // rows produced across workers (flushed amortized)
+	mem    atomic.Int64 // bytes materialized across workers
+	pooled atomic.Int64 // bytes this query holds in the shared pool
 
 	stopped atomic.Bool
 	err     atomic.Pointer[error]
@@ -117,6 +119,11 @@ type Config struct {
 	// MemoryBudget bounds the bytes of materialized result rows;
 	// 0 = unlimited. Silent (non-materializing) execution charges nothing.
 	MemoryBudget int64
+	// MemPool, when non-nil, is the store-wide shared memory budget this
+	// query charges its materialized bytes against, in addition to its own
+	// MemoryBudget. N concurrent queries race one pool, so a burst cannot
+	// multiply the per-query bound into an OOM.
+	MemPool *Pool
 	// CheckInterval overrides DefaultCheckInterval (useful for tests and
 	// for plans whose estimated cardinality warrants tighter checks).
 	CheckInterval int
@@ -126,7 +133,7 @@ type Config struct {
 // Ungoverned queries skip the per-step bookkeeping entirely.
 func (c Config) Enabled() bool {
 	return (c.Context != nil && c.Context.Done() != nil) ||
-		c.MaxResultRows > 0 || c.MemoryBudget > 0
+		c.MaxResultRows > 0 || c.MemoryBudget > 0 || c.MemPool != nil
 }
 
 // New builds a Governor for one query execution.
@@ -144,6 +151,7 @@ func New(c Config) *Governor {
 		ctx:      ctx,
 		maxRows:  c.MaxResultRows,
 		maxMem:   c.MemoryBudget,
+		pool:     c.MemPool,
 		interval: interval,
 	}
 }
@@ -202,7 +210,27 @@ func (g *Governor) charge(rows, bytes int64) bool {
 		g.Fail(fmt.Errorf("%w: more than %d bytes of materialized results", ErrBudgetExceeded, g.maxMem))
 		return false
 	}
+	if g.pool != nil && bytes > 0 {
+		if !g.pool.TryCharge(bytes) {
+			g.Fail(fmt.Errorf("%w: shared memory pool exhausted (%d of %d bytes in use across queries)",
+				ErrBudgetExceeded, g.pool.Used(), g.pool.Capacity()))
+			return false
+		}
+		g.pooled.Add(bytes)
+	}
 	return true
+}
+
+// ReleasePool returns every byte this query holds in the shared pool.
+// The engine calls it exactly once when execution finishes (success or
+// failure); it is idempotent so defensive double-calls are harmless.
+func (g *Governor) ReleasePool() {
+	if g == nil || g.pool == nil {
+		return
+	}
+	if held := g.pooled.Swap(0); held > 0 {
+		g.pool.Release(held)
+	}
 }
 
 // CtxError maps a context's termination cause to the typed taxonomy:
@@ -344,7 +372,12 @@ func NewLimiter(max int, wait time.Duration) *Limiter {
 }
 
 // Acquire blocks until a slot is free, the queue wait elapses
-// (ErrOverloaded), or ctx is done (typed context error). On success the
+// (ErrOverloaded), or ctx is done (typed context error). The queue wait is
+// clamped to the caller's remaining context deadline — there is no point
+// queuing a query past the moment its deadline kills it — and when the
+// deadline, not the configured wait, was the binding constraint the caller
+// gets ErrDeadlineExceeded rather than ErrOverloaded: the store was not
+// necessarily overloaded, the caller was out of budget. On success the
 // caller must Release exactly once.
 func (l *Limiter) Acquire(ctx context.Context) error {
 	if l == nil {
@@ -353,13 +386,28 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Dead-on-arrival work must not take a slot even when one is free.
+	if ctx.Err() != nil {
+		return CtxError(ctx)
+	}
 	// Fast path: a free slot admits without allocating a timer.
 	select {
 	case l.slots <- struct{}{}:
 		return nil
 	default:
 	}
-	if l.wait <= 0 {
+	wait := l.wait
+	deadlineBound := false
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); remaining < wait {
+			wait = remaining
+			deadlineBound = true
+		}
+	}
+	if wait <= 0 {
+		if deadlineBound {
+			return fmt.Errorf("%w: no deadline budget left to queue for admission", ErrDeadlineExceeded)
+		}
 		select {
 		case l.slots <- struct{}{}:
 			return nil
@@ -369,7 +417,7 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 			return ErrOverloaded
 		}
 	}
-	timer := time.NewTimer(l.wait)
+	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
 	case l.slots <- struct{}{}:
@@ -377,6 +425,9 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 	case <-ctx.Done():
 		return CtxError(ctx)
 	case <-timer.C:
+		if deadlineBound {
+			return fmt.Errorf("%w: deadline expired in admission queue", ErrDeadlineExceeded)
+		}
 		return ErrOverloaded
 	}
 }

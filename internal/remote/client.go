@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"parj/internal/store"
@@ -49,9 +50,13 @@ func Retryable(err error) bool {
 }
 
 // NodeFault reports whether err should count against the node's circuit
-// breaker: transport faults and node-internal failures (panic, overload)
+// breaker: transport faults and node-internal failures (panic, internal)
 // do; semantic outcomes the node computed correctly (parse, plan, budget,
-// deadline) do not.
+// deadline) do not — and neither does overload. A 503 is the node working
+// exactly as designed under load: tripping a breaker on it would remove a
+// healthy-but-busy replica from rotation and dump its share of traffic on
+// its peers, amplifying the storm. Overload is a routing signal
+// (Overloaded), not a fault.
 func NodeFault(err error) bool {
 	var te *TransportError
 	if errors.As(err, &te) {
@@ -59,9 +64,17 @@ func NodeFault(err error) bool {
 	}
 	var ne *NodeError
 	if errors.As(err, &ne) {
-		return ne.Kind == KindPanic || ne.Kind == KindInternal || ne.Kind == KindOverload
+		return ne.Kind == KindPanic || ne.Kind == KindInternal
 	}
 	return false
+}
+
+// Overloaded reports whether err is a node's load-shed rejection — the
+// outcome the coordinator feeds into its per-endpoint load signal (back
+// off this replica briefly, prefer its peers) rather than its breaker.
+func Overloaded(err error) bool {
+	var ne *NodeError
+	return errors.As(err, &ne) && ne.Kind == KindOverload
 }
 
 // Client executes shard requests against one node endpoint.
@@ -125,7 +138,11 @@ func (c *Client) Exec(ctx context.Context, req *ExecRequest) (*ExecResponse, err
 			return nil, &TransportError{Endpoint: c.endpoint,
 				Err: fmt.Errorf("status %d with undecodable error body", resp.StatusCode)}
 		}
-		return nil, &NodeError{Kind: ne.Kind, Msg: ne.Error}
+		out := &NodeError{Kind: ne.Kind, Msg: ne.Error}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			out.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, out
 	}
 	var out ExecResponse
 	if err := json.Unmarshal(raw, &out); err != nil {

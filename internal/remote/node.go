@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"parj/internal/governance"
 	"parj/internal/optimizer"
 	"parj/internal/rdfs"
+	"parj/internal/resilience"
 	"parj/internal/sparql"
 	"parj/internal/stats"
 	"parj/internal/store"
@@ -38,14 +40,21 @@ type Node struct {
 	ready    atomic.Bool
 	draining atomic.Bool
 
-	// limiter sheds load when too many shard requests execute at once;
-	// nil admits everything.
-	limiter *governance.Limiter
+	// admit sheds load when too many shard requests execute at once. It is
+	// either the fixed-wait Limiter or the adaptive CoDel controller; a
+	// typed-nil value admits everything (both are nil-safe).
+	admit admitter
+	// adaptive is non-nil when the CoDel controller is in use; it is the
+	// source of the queue-delay estimate for expired-on-arrival refusal
+	// and /statz.
+	adaptive *governance.AdaptiveLimiter
 
 	// Cumulative /statz counters. totals is guarded by statMu; the plain
 	// counters are atomic so the hot path never takes the lock.
 	queries    atomic.Int64
 	rejections atomic.Int64
+	sheds      atomic.Int64
+	expired    atomic.Int64
 	failures   atomic.Int64
 	statMu     sync.Mutex
 	totals     SchedTotals
@@ -56,12 +65,31 @@ type Node struct {
 	ExecStarted func(req *ExecRequest)
 }
 
+// admitter abstracts the two admission controllers (fixed-wait Limiter and
+// adaptive CoDel) behind the node's acquire/release path.
+type admitter interface {
+	Acquire(ctx context.Context) error
+	Release()
+	InFlight() int
+}
+
 // NodeOptions configures a Node.
 type NodeOptions struct {
 	// MaxConcurrent caps concurrent /exec evaluations (0 = unlimited);
 	// excess requests shed with 503 after AdmissionWait.
 	MaxConcurrent int
 	AdmissionWait time.Duration
+	// AdmissionTarget > 0 replaces the fixed-wait queue with the CoDel
+	// controller: queue sojourn above this target for a full
+	// AdmissionInterval flips the node into shedding mode, where excess
+	// arrivals are rejected after only the target instead of the full
+	// AdmissionWait. See governance.AdaptiveLimiter.
+	AdmissionTarget time.Duration
+	// AdmissionInterval is the adaptive controller's window (0 = default).
+	AdmissionInterval time.Duration
+	// Clock injects time for the adaptive controller (tests drive a
+	// FakeClock); nil = wall clock.
+	Clock resilience.Clock
 	// NotReady starts the node in not-ready state (cmd/parj-node flips it
 	// once the replica is loaded); the zero value is ready immediately,
 	// which is what in-process tests want.
@@ -73,10 +101,18 @@ func NewNode(st *store.Store, ss *stats.Stats, opts NodeOptions) *Node {
 	if ss == nil {
 		ss = stats.New(st)
 	}
-	n := &Node{
-		st:      st,
-		ss:      ss,
-		limiter: governance.NewLimiter(opts.MaxConcurrent, opts.AdmissionWait),
+	n := &Node{st: st, ss: ss}
+	if opts.AdmissionTarget > 0 {
+		n.adaptive = governance.NewAdaptiveLimiter(governance.AdmissionOptions{
+			MaxConcurrent: opts.MaxConcurrent,
+			MaxWait:       opts.AdmissionWait,
+			Target:        opts.AdmissionTarget,
+			Interval:      opts.AdmissionInterval,
+			Clock:         opts.Clock,
+		})
+		n.admit = n.adaptive
+	} else {
+		n.admit = governance.NewLimiter(opts.MaxConcurrent, opts.AdmissionWait)
 	}
 	n.ready.Store(!opts.NotReady)
 	return n
@@ -108,7 +144,7 @@ func (n *Node) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "ok",
 			"triples":  n.st.NumTriples(),
-			"inflight": n.limiter.InFlight(),
+			"inflight": n.admit.InFlight(),
 			"ready":    n.Ready(),
 		})
 	})
@@ -144,14 +180,19 @@ func (n *Node) Statz() *StatzResponse {
 	n.statMu.Lock()
 	totals := n.totals
 	n.statMu.Unlock()
+	astats := n.adaptive.Stats()
 	return &StatzResponse{
-		Ready:      n.Ready(),
-		Triples:    n.st.NumTriples(),
-		InFlight:   n.limiter.InFlight(),
-		Queries:    n.queries.Load(),
-		Rejections: n.rejections.Load(),
-		Failures:   n.failures.Load(),
-		Sched:      totals,
+		Ready:        n.Ready(),
+		Triples:      n.st.NumTriples(),
+		InFlight:     n.admit.InFlight(),
+		Queries:      n.queries.Load(),
+		Rejections:   n.rejections.Load(),
+		Sheds:        n.sheds.Load(),
+		Expired:      n.expired.Load(),
+		QueueDelayMS: float64(astats.QueueDelay) / float64(time.Millisecond),
+		Shedding:     astats.Shedding,
+		Failures:     n.failures.Load(),
+		Sched:        totals,
 	}
 }
 
@@ -194,18 +235,52 @@ func (n *Node) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
+	// Effective node-side deadline: the smaller of the explicit per-shard
+	// timeout and the propagated remaining client budget.
+	var budget time.Duration
 	if req.TimeoutMS > 0 {
+		budget = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if req.DeadlineBudgetMS > 0 {
+		b := time.Duration(req.DeadlineBudgetMS) * time.Millisecond
+		if budget == 0 || b < budget {
+			budget = b
+		}
+	}
+	// Expired-on-arrival refusal: a propagated budget already at or below
+	// the admission queue-delay estimate cannot finish here — refuse it
+	// before it takes a slot, so the coordinator's attempt fails fast as a
+	// deadline (non-retryable) instead of timing out in the queue. Only
+	// while saturated: with a free slot the estimate is stale and refusing
+	// on it could latch every small-budget client out of an idle node.
+	if req.DeadlineBudgetMS > 0 && n.adaptive.Saturated() {
+		if est := n.adaptive.QueueDelayEstimate(); est > 0 && budget <= est {
+			n.rejections.Add(1)
+			n.expired.Add(1)
+			writeError(w, http.StatusGatewayTimeout, KindDeadline, fmt.Errorf(
+				"%w: deadline budget %v at or below queue-delay estimate %v on arrival",
+				governance.ErrDeadlineExceeded, budget, est))
+			return
+		}
+	}
+	if budget > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		ctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
 	}
-	if err := n.limiter.Acquire(ctx); err != nil {
+	if err := n.admit.Acquire(ctx); err != nil {
 		n.rejections.Add(1)
+		switch {
+		case errors.Is(err, governance.ErrOverloaded):
+			n.sheds.Add(1)
+		case errors.Is(err, governance.ErrDeadlineExceeded), errors.Is(err, governance.ErrCanceled):
+			n.expired.Add(1)
+		}
 		status, kind := statusKind(err)
 		writeError(w, status, kind, err)
 		return
 	}
-	defer n.limiter.Release()
+	defer n.admit.Release()
 
 	n.queries.Add(1)
 	resp, err := n.exec(ctx, &req)
@@ -306,7 +381,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, kind string, err error) {
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		// Retry-After carries the shed hint from the admission controller
+		// (whole seconds, rounded up; minimum 1s for plain overloads).
+		secs := int((governance.RetryAfterHint(err, time.Second) + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	writeJSON(w, status, ErrorResponse{Kind: kind, Error: err.Error()})
 }

@@ -16,6 +16,7 @@ package remote
 
 import (
 	"fmt"
+	"time"
 
 	"parj/internal/core"
 	"parj/internal/governance"
@@ -62,6 +63,14 @@ type ExecRequest struct {
 	Silent bool `json:"silent,omitempty"`
 	// TimeoutMS bounds the node-side evaluation wall clock (0 = none).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// DeadlineBudgetMS is the client's remaining deadline budget as
+	// measured by the coordinator when it launched this attempt (0 = no
+	// client deadline). Deadline propagation: the node clamps its own
+	// deadline to this budget and refuses work on arrival when the budget
+	// is already smaller than its admission queue-delay estimate — a
+	// request that would expire in the queue must not burn a slot, and the
+	// coordinator must not burn replica attempts on dead requests.
+	DeadlineBudgetMS int64 `json:"deadline_budget_ms,omitempty"`
 	// MaxResultRows/MemoryBudget forward the coordinator's per-query
 	// governance budgets to the node (0 = unlimited).
 	MaxResultRows int64 `json:"max_result_rows,omitempty"`
@@ -121,6 +130,20 @@ type StatzResponse struct {
 	Queries int64 `json:"queries"`
 	// Rejections counts /exec requests shed by admission control.
 	Rejections int64 `json:"rejections"`
+	// Sheds counts /exec requests rejected with overload (a subset of
+	// Rejections; the rest are deadline/cancel refusals).
+	Sheds int64 `json:"sheds"`
+	// Expired counts /exec requests refused because their propagated
+	// deadline budget was already spent (or below the queue-delay
+	// estimate) on arrival, or expired while queued for admission.
+	Expired int64 `json:"expired"`
+	// QueueDelayMS is the admission controller's current sojourn-time
+	// estimate in milliseconds (0 when the fixed-wait limiter is in use).
+	// This is the load signal the coordinator's routing layer reads.
+	QueueDelayMS float64 `json:"queue_delay_ms"`
+	// Shedding reports whether the adaptive admission controller is
+	// currently in shed mode.
+	Shedding bool `json:"shedding,omitempty"`
 	// Failures counts admitted /exec requests that returned an error.
 	Failures int64 `json:"failures"`
 	// Sched sums scheduler activity across all served queries.
@@ -154,6 +177,9 @@ type ErrorResponse struct {
 type NodeError struct {
 	Kind string
 	Msg  string
+	// RetryAfter is the node's suggested backoff before another attempt,
+	// parsed from the Retry-After header on 503 responses (0 = none).
+	RetryAfter time.Duration
 }
 
 func (e *NodeError) Error() string {

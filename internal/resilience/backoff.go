@@ -67,3 +67,18 @@ func (j *Jitter) Float64() float64 {
 	}
 	return j.rng.Float64()
 }
+
+// Intn returns the next value in [0, n); n <= 0 returns 0. Replica
+// selection uses it to sample power-of-two-choices candidates from the
+// same deterministic stream as retry jitter.
+func (j *Jitter) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rng == nil {
+		j.rng = rand.New(rand.NewSource(1))
+	}
+	return j.rng.Intn(n)
+}

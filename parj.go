@@ -71,6 +71,13 @@ var (
 // it with errors.As.
 type PanicError = governance.PanicError
 
+// RetryAfter extracts the suggested client backoff carried by an
+// ErrOverloaded shed from the adaptive admission controller (0 when the
+// error carries no hint). Servers surface it as the Retry-After header.
+func RetryAfter(err error) time.Duration {
+	return governance.RetryAfterHint(err, 0)
+}
+
 // Strategy selects the key-probe method; see the package documentation of
 // internal/core and Table 5 of the paper.
 type Strategy = core.Strategy
@@ -134,6 +141,24 @@ type DBOptions struct {
 	// AdmissionWait bounds how long an over-admission query queues before
 	// it is shed. 0 means shed immediately when saturated.
 	AdmissionWait time.Duration
+	// AdmissionTarget > 0 replaces the fixed-wait admission queue with a
+	// CoDel-style adaptive controller: when queue sojourn stays above this
+	// target for a full AdmissionInterval the store enters shedding mode,
+	// rejecting excess arrivals after only the target (with a Retry-After
+	// hint on the error) instead of letting every query wait the full
+	// AdmissionWait. Admitted queries keep a bounded queue delay under
+	// sustained overload. Requires MaxConcurrentQueries > 0.
+	AdmissionTarget time.Duration
+	// AdmissionInterval is the adaptive controller's control window
+	// (0 = 100ms default).
+	AdmissionInterval time.Duration
+	// SharedMemoryBudget bounds the bytes of materialized result rows
+	// across ALL concurrently executing queries, complementing the
+	// per-query QueryOptions.MemoryBudget: N concurrent queries race one
+	// budget, so a burst cannot multiply the per-query bound into process
+	// exhaustion. The query that would tip the store over fails with
+	// ErrBudgetExceeded. 0 = unlimited.
+	SharedMemoryBudget int64
 }
 
 func (o LoadOptions) buildOptions() store.BuildOptions {
@@ -198,8 +223,9 @@ func (o *QueryOptions) execContext() (context.Context, context.CancelFunc) {
 
 // execOptions assembles the engine options for one execution of plan. The
 // optimizer's cardinality estimate tunes how often workers check for
-// cancellation: plans expected to run long are checked more often.
-func (o *QueryOptions) execOptions(ctx context.Context, plan *optimizer.Plan) core.Options {
+// cancellation: plans expected to run long are checked more often. pool is
+// the store's shared memory budget (nil when off).
+func (o *QueryOptions) execOptions(ctx context.Context, plan *optimizer.Plan, pool *governance.Pool) core.Options {
 	return core.Options{
 		Threads:       o.Threads,
 		Strategy:      o.Strategy,
@@ -208,6 +234,7 @@ func (o *QueryOptions) execOptions(ctx context.Context, plan *optimizer.Plan) co
 		Context:       ctx,
 		MaxResultRows: o.MaxResultRows,
 		MemoryBudget:  o.MemoryBudget,
+		MemPool:       pool,
 		CheckInterval: governance.IntervalForEstimate(plan.EstResultRows()),
 	}
 }
@@ -224,14 +251,27 @@ type Results struct {
 	ProbeStats search.Stats
 }
 
+// admitController abstracts the two admission controllers a Store can run:
+// the fixed-wait governance.Limiter and the adaptive CoDel controller.
+type admitController interface {
+	Acquire(ctx context.Context) error
+	Release()
+	InFlight() int
+}
+
 // Store is an immutable, fully in-memory RDF database. It is safe for
 // concurrent queries.
 type Store struct {
 	st    *store.Store
 	stats *stats.Stats
 
-	// limiter implements DB-level admission control; nil admits everything.
-	limiter *governance.Limiter
+	// limiter implements DB-level admission control; a typed-nil value
+	// admits everything. adaptive aliases it when the CoDel controller is
+	// in use (the source of shed counters and the queue-delay estimate).
+	limiter  admitController
+	adaptive *governance.AdaptiveLimiter
+	// memPool is the store-wide shared memory budget; nil = unlimited.
+	memPool *governance.Pool
 
 	hierOnce sync.Once
 	hier     *rdfs.Hierarchy
@@ -239,18 +279,71 @@ type Store struct {
 
 // SetDBOptions (re)configures store-wide governance. It must not be called
 // concurrently with queries; set it once right after loading. Queries
-// already admitted keep their slots.
+// already admitted keep their slots (and their shared-pool reservations).
 func (s *Store) SetDBOptions(opts DBOptions) {
-	s.limiter = governance.NewLimiter(opts.MaxConcurrentQueries, opts.AdmissionWait)
+	s.applyDB(opts)
+}
+
+func (s *Store) applyDB(opts DBOptions) {
+	if opts.AdmissionTarget > 0 {
+		s.adaptive = governance.NewAdaptiveLimiter(governance.AdmissionOptions{
+			MaxConcurrent: opts.MaxConcurrentQueries,
+			MaxWait:       opts.AdmissionWait,
+			Target:        opts.AdmissionTarget,
+			Interval:      opts.AdmissionInterval,
+		})
+		s.limiter = s.adaptive
+	} else {
+		s.adaptive = nil
+		s.limiter = governance.NewLimiter(opts.MaxConcurrentQueries, opts.AdmissionWait)
+	}
+	s.memPool = governance.NewPool(opts.SharedMemoryBudget)
 }
 
 // InFlightQueries reports how many queries are currently admitted (always 0
 // when admission control is off) — a cheap load signal for health checks.
 func (s *Store) InFlightQueries() int { return s.limiter.InFlight() }
 
+// AdmissionStats is a snapshot of the store's admission and shared-memory
+// counters — what parj-server surfaces on /statz so the shedding behavior
+// is operator-visible.
+type AdmissionStats struct {
+	// InFlight is the number of currently executing queries.
+	InFlight int
+	// Admitted/Sheds/Expired count adaptive-admission outcomes since the
+	// controller was configured (0 under the fixed-wait limiter).
+	Admitted int64
+	Sheds    int64
+	Expired  int64
+	// QueueDelay is the adaptive controller's sojourn-time estimate.
+	QueueDelay time.Duration
+	// Shedding reports whether the controller is currently in shed mode.
+	Shedding bool
+	// PoolUsed/PoolCapacity report the shared memory budget (0 when off).
+	PoolUsed     int64
+	PoolCapacity int64
+}
+
+// AdmissionStats snapshots the store's admission counters.
+func (s *Store) AdmissionStats() AdmissionStats {
+	a := s.adaptive.Stats()
+	return AdmissionStats{
+		InFlight:     s.limiter.InFlight(),
+		Admitted:     a.Admitted,
+		Sheds:        a.Sheds,
+		Expired:      a.Expired,
+		QueueDelay:   a.QueueDelay,
+		Shedding:     a.Shedding,
+		PoolUsed:     s.memPool.Used(),
+		PoolCapacity: s.memPool.Capacity(),
+	}
+}
+
 // admit reserves an execution slot, shedding with ErrOverloaded when the
-// store is saturated longer than the admission wait. The caller must call
-// the returned release exactly once; on error there is nothing to release.
+// store is saturated longer than the admission wait (or, under adaptive
+// admission, as soon as the controller is in shed mode). The caller must
+// call the returned release exactly once; on error there is nothing to
+// release.
 func (s *Store) admit(ctx context.Context) (release func(), err error) {
 	if err := s.limiter.Acquire(ctx); err != nil {
 		return nil, fmt.Errorf("parj: %w", err)
@@ -287,11 +380,9 @@ func (b *Builder) Add(subject, predicate, object string) {
 // afterwards.
 func (b *Builder) Build() *Store {
 	st := b.b.Build(b.opts.buildOptions())
-	return &Store{
-		st:      st,
-		stats:   stats.New(st),
-		limiter: governance.NewLimiter(b.opts.DB.MaxConcurrentQueries, b.opts.DB.AdmissionWait),
-	}
+	s := &Store{st: st, stats: stats.New(st)}
+	s.applyDB(b.opts.DB)
+	return s
 }
 
 // Load reads an N-Triples document and builds a Store.
@@ -349,7 +440,9 @@ func LoadSnapshot(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{st: st, stats: stats.New(st)}, nil
+	s := &Store{st: st, stats: stats.New(st)}
+	s.applyDB(DBOptions{})
+	return s, nil
 }
 
 // LoadSnapshotFile reloads a store from a snapshot file.
@@ -430,7 +523,7 @@ func (s *Store) Query(src string, opts QueryOptions) (*Results, error) {
 	}
 
 	post := len(q.OrderBy) > 0 || q.Offset > 0
-	execOpts := opts.execOptions(ctx, plan)
+	execOpts := opts.execOptions(ctx, plan, s.memPool)
 	if post {
 		// Ordering and offsets need the full, materialized result: the
 		// engine must not truncate early, and rows must be decoded to sort
@@ -515,7 +608,7 @@ func (s *Store) QueryStream(src string, opts QueryOptions, fn func(row []string)
 	if err != nil {
 		return 0, err
 	}
-	n, err := core.ExecuteStream(s.st, plan, opts.execOptions(ctx, plan), func(row []uint32) bool {
+	n, err := core.ExecuteStream(s.st, plan, opts.execOptions(ctx, plan, s.memPool), func(row []uint32) bool {
 		dec := make([]string, len(row))
 		for i, id := range row {
 			slot := plan.Project[i]
@@ -563,7 +656,7 @@ func (p *Prepared) Query(opts QueryOptions) (*Results, error) {
 	}
 	defer release()
 
-	res, err := core.Execute(p.s.st, p.plan, opts.execOptions(ctx, p.plan))
+	res, err := core.Execute(p.s.st, p.plan, opts.execOptions(ctx, p.plan, p.s.memPool))
 	if err != nil {
 		if res != nil {
 			return &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats},

@@ -1,0 +1,110 @@
+package parj
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"parj/internal/testutil"
+)
+
+// TestSharedMemoryPoolRace pins the store-wide memory pool's contract
+// under contention: when two materializing queries race for a budget that
+// can only hold one, the loser fails with typed ErrBudgetExceeded, the
+// winner's result is oracle-exact, and every failed or finished query
+// returns all of its bytes to the pool.
+func TestSharedMemoryPoolRace(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	const n = 64 // 4096-row cross product, ~tens of KB materialized
+	db := crossStore(n)
+	want := int64(n * n)
+
+	// Calibrate the smallest power-of-two budget that admits ONE query.
+	// Every failing budget below it doubles as a typed-error check, and
+	// because the query did not fit in budget/2, two concurrent runs
+	// cannot both fit in budget — the race below has a guaranteed loser.
+	budget := int64(1 << 8)
+	for {
+		db.SetDBOptions(DBOptions{SharedMemoryBudget: budget})
+		res, err := db.Query(crossQuery, QueryOptions{Threads: 2})
+		if err == nil {
+			if res.Count != want {
+				t.Fatalf("calibration query count %d, want %d", res.Count, want)
+			}
+			break
+		}
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("budget %d failure is not typed ErrBudgetExceeded: %v", budget, err)
+		}
+		if used := db.AdmissionStats().PoolUsed; used != 0 {
+			t.Fatalf("failed query left %d bytes charged in the pool", used)
+		}
+		budget <<= 1
+		if budget > 1<<32 {
+			t.Fatal("calibration runaway — query never fits")
+		}
+	}
+	if budget == 1<<8 {
+		t.Fatalf("query fits in %d bytes — fixture too small to contend for the pool", budget)
+	}
+
+	// The race: pairs of concurrent queries at a budget that holds exactly
+	// one. Charging is amortized per worker, so an unlucky interleaving can
+	// fail both — rounds repeat until both a winner and a loser have been
+	// seen. Each round must drain the pool completely.
+	type out struct {
+		count int64
+		err   error
+	}
+	var sawWin, sawLose bool
+	for round := 0; round < 50 && !(sawWin && sawLose); round++ {
+		start := make(chan struct{})
+		outs := make(chan out, 2)
+		for w := 0; w < 2; w++ {
+			go func(w int) {
+				<-start
+				if w == 1 {
+					// A head start for worker 0 biases toward a clean
+					// winner/loser split without removing the race.
+					time.Sleep(200 * time.Microsecond)
+				}
+				res, err := db.Query(crossQuery, QueryOptions{Threads: 2})
+				if err != nil {
+					outs <- out{0, err}
+					return
+				}
+				outs <- out{res.Count, nil}
+			}(w)
+		}
+		close(start)
+		for i := 0; i < 2; i++ {
+			o := <-outs
+			if o.err == nil {
+				if o.count != want {
+					t.Fatalf("round %d: winner count %d, want %d — partial result under pool pressure", round, o.count, want)
+				}
+				sawWin = true
+			} else {
+				if !errors.Is(o.err, ErrBudgetExceeded) {
+					t.Fatalf("round %d: loser error is not typed ErrBudgetExceeded: %v", round, o.err)
+				}
+				sawLose = true
+			}
+		}
+		if used := db.AdmissionStats().PoolUsed; used != 0 {
+			t.Fatalf("round %d left %d bytes charged in the pool", round, used)
+		}
+	}
+	if !sawWin || !sawLose {
+		t.Fatalf("50 rounds of racing never produced both outcomes (winner=%v, loser=%v)", sawWin, sawLose)
+	}
+
+	// The pool is drained, so a lone query still has the whole budget.
+	res, err := db.Query(crossQuery, QueryOptions{Threads: 2})
+	if err != nil {
+		t.Fatalf("post-race query failed: %v", err)
+	}
+	if res.Count != want {
+		t.Fatalf("post-race count %d, want %d", res.Count, want)
+	}
+}
