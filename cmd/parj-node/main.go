@@ -13,11 +13,13 @@
 //
 // Endpoints:
 //
-//	POST /exec      evaluate a shard range (internal/remote wire protocol)
-//	GET  /healthz   liveness
-//	GET  /readyz    readiness: 503 while loading or draining
+//	POST /exec       evaluate a shard range (internal/remote wire protocol)
+//	POST /write      apply a sequenced write batch to the live store
+//	POST /reconcile  merge pending writes into a fresh base store
+//	GET  /healthz    liveness
+//	GET  /readyz     readiness: 503 while loading or draining
 //	GET  /statz     cumulative serving stats (queries, rejections, sched)
-//	GET  /snapshot  CRC-checked snapshot stream of the replica
+//	GET  /snapshot  CRC-checked snapshot stream (X-Parj-Write-Seq: stream position)
 //
 // The listener comes up before the replica finishes loading; /readyz flips
 // to 200 once the store is resident and back to 503 when a drain starts.
@@ -62,6 +64,7 @@ func main() {
 		admissionTgt  = flag.Duration("admission-target", 0, "acceptable admission-queue sojourn; > 0 enables the adaptive (CoDel-style) controller")
 		admissionIntv = flag.Duration("admission-interval", 0, "adaptive controller window (0 = default)")
 		drainTimeout  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain limit")
+		reconcileOps  = flag.Int("reconcile-ops", 4096, "pending write verdicts that trigger background reconciliation (0 = only on explicit /reconcile)")
 	)
 	flag.Parse()
 	if (*dataPath == "") == (*warmFrom == "") {
@@ -89,9 +92,10 @@ func main() {
 
 	start := time.Now()
 	var st *store.Store
+	var seq uint64
 	var err error
 	if *warmFrom != "" {
-		st, err = warmFromPeers(strings.Split(*warmFrom, ","), *warmTimeout)
+		st, seq, err = warmFromPeers(strings.Split(*warmFrom, ","), *warmTimeout)
 	} else {
 		st, err = loadStore(*dataPath, !*noIndex)
 	}
@@ -105,7 +109,12 @@ func main() {
 		AdmissionWait:     *admissionWait,
 		AdmissionTarget:   *admissionTgt,
 		AdmissionInterval: *admissionIntv,
+		AutoReconcileOps:  *reconcileOps,
 	})
+	// A snapshot warmed from a peer embeds that peer's write-stream
+	// position: resume the stream there, so the coordinator's resync
+	// replays exactly the batches the snapshot does not contain.
+	node.Live().SeedSeq(seq)
 	nodePtr.Store(node)
 	fmt.Fprintf(os.Stderr, "replica loaded: %d triples in %v; serving on %s\n",
 		st.NumTriples(), time.Since(start).Round(time.Millisecond), *addr)
@@ -136,7 +145,7 @@ func main() {
 // that serves one, cycling through the list with backoff until the timeout.
 // A truncated or corrupt stream fails verification and moves on to the next
 // peer, so a peer dying mid-transfer delays the warmup but never poisons it.
-func warmFromPeers(peers []string, timeout time.Duration) (*store.Store, error) {
+func warmFromPeers(peers []string, timeout time.Duration) (*store.Store, uint64, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	delay := time.Second
@@ -148,18 +157,18 @@ func warmFromPeers(peers []string, timeout time.Duration) (*store.Store, error) 
 				continue
 			}
 			c := remote.NewClient(peer, 0)
-			st, err := c.Snapshot(ctx)
+			st, seq, err := c.SnapshotSeq(ctx)
 			c.Close()
 			if err == nil {
-				fmt.Fprintf(os.Stderr, "parj-node: warmed from %s\n", peer)
-				return st, nil
+				fmt.Fprintf(os.Stderr, "parj-node: warmed from %s at write seq %d\n", peer, seq)
+				return st, seq, nil
 			}
 			lastErr = err
 			fmt.Fprintf(os.Stderr, "parj-node: warm-from %s: %v\n", peer, err)
 		}
 		select {
 		case <-ctx.Done():
-			return nil, fmt.Errorf("warm-from: no peer served a snapshot in %v: %w", timeout, lastErr)
+			return nil, 0, fmt.Errorf("warm-from: no peer served a snapshot in %v: %w", timeout, lastErr)
 		case <-time.After(delay):
 		}
 		if delay *= 2; delay > 10*time.Second {

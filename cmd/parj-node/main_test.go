@@ -17,17 +17,20 @@ func TestWarmFromPeers(t *testing.T) {
 	defer srv.Close()
 
 	// First peer in the list is dead: warmup must skip past it.
-	warmed, err := warmFromPeers([]string{"http://127.0.0.1:1", srv.URL}, 30*time.Second)
+	warmed, seq, err := warmFromPeers([]string{"http://127.0.0.1:1", srv.URL}, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if warmed.NumTriples() != st.NumTriples() {
 		t.Fatalf("warmed %d triples, peer has %d", warmed.NumTriples(), st.NumTriples())
 	}
+	if seq != 0 {
+		t.Fatalf("peer has applied no writes, warmup reported seq %d", seq)
+	}
 }
 
 func TestWarmFromPeersTimeout(t *testing.T) {
-	if _, err := warmFromPeers([]string{"http://127.0.0.1:1"}, 50*time.Millisecond); err == nil {
+	if _, _, err := warmFromPeers([]string{"http://127.0.0.1:1"}, 50*time.Millisecond); err == nil {
 		t.Fatal("warming from a dead peer must eventually fail")
 	}
 }

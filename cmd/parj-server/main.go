@@ -12,6 +12,8 @@
 //
 //	GET  /query?query=SELECT...   execute a SPARQL query, JSON response
 //	POST /query                   query in the body (or form field "query")
+//	POST /write                   apply a write batch ({"inserts":[...],"deletes":[...]})
+//	POST /reconcile               merge pending writes into a fresh base store
 //	GET  /healthz                 liveness + load signal
 //	GET  /readyz                  readiness: 503 while loading or draining
 //
@@ -58,6 +60,7 @@ func main() {
 		memBudget     = flag.Int64("memory-budget", 1<<30, "per-query materialized-result byte budget (0 = unlimited)")
 		sharedBudget  = flag.Int64("shared-memory-budget", 0, "materialized-result byte budget shared across ALL concurrent queries (0 = unlimited)")
 		drainTimeout  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain limit")
+		reconcileOps  = flag.Int("reconcile-ops", 4096, "pending write verdicts that trigger background reconciliation (0 = only on explicit /reconcile)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -92,6 +95,7 @@ func main() {
 			AdmissionTarget:      *admTarget,
 			AdmissionInterval:    *admInterval,
 			SharedMemoryBudget:   *sharedBudget,
+			AutoReconcileOps:     *reconcileOps,
 		},
 	})
 	if err != nil {
@@ -151,6 +155,21 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// writeRequest is the JSON shape of a /write body: term-string triples to
+// insert and delete. Deletes apply before inserts.
+type writeRequest struct {
+	Inserts []parj.Triple `json:"inserts,omitempty"`
+	Deletes []parj.Triple `json:"deletes,omitempty"`
+}
+
+// writeResponse reports the store's write-stream position after a write or
+// a reconciliation.
+type writeResponse struct {
+	Seq     uint64 `json:"seq"`
+	Pending int    `json:"pending"`
+	Epoch   uint64 `json:"epoch"`
+}
+
 // newHandler wires the serving mux for an already-loaded db; split from
 // main so tests can drive it through httptest without a process or sockets.
 func newHandler(db *parj.Store, base parj.QueryOptions) http.Handler {
@@ -193,6 +212,57 @@ func newStateHandler(state *serverState, base parj.QueryOptions) http.Handler {
 			Rows:  res.Rows,
 			Count: res.Count,
 			Took:  time.Since(start).Round(time.Microsecond).String(),
+		})
+	})
+
+	mux.HandleFunc("/write", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		db := state.store()
+		if db == nil {
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is still loading"))
+			return
+		}
+		const maxWriteBytes = 64 << 20
+		r.Body = http.MaxBytesReader(w, r.Body, maxWriteBytes)
+		var req writeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding write: %w", err))
+			return
+		}
+		// Deletes before inserts — the batch order of the write path.
+		if len(req.Deletes) > 0 {
+			db.Delete(req.Deletes)
+		}
+		if len(req.Inserts) > 0 {
+			db.Insert(req.Inserts)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(writeResponse{
+			Seq:     db.WriteSeq(),
+			Pending: db.PendingWrites(),
+			Epoch:   db.Epoch(),
+		})
+	})
+
+	mux.HandleFunc("/reconcile", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		db := state.store()
+		if db == nil {
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is still loading"))
+			return
+		}
+		db.Reconcile()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(writeResponse{
+			Seq:     db.WriteSeq(),
+			Pending: db.PendingWrites(),
+			Epoch:   db.Epoch(),
 		})
 	})
 

@@ -93,7 +93,7 @@ func CompareReports(baseline, cur *Report, tol float64) []string {
 }
 
 // JSONExperiments lists the experiment ids RunJSONExperiment accepts.
-func JSONExperiments() []string { return []string{"table5", "skew", "cyclic", "slo"} }
+func JSONExperiments() []string { return []string{"table5", "skew", "cyclic", "slo", "write"} }
 
 // RunJSONExperiment measures one experiment in report form. Unlike the
 // table experiments, the engines here run at 1 thread (table5) or with the
@@ -113,8 +113,10 @@ func RunJSONExperiment(name string, cfg ExpConfig, blocks int) (*Report, error) 
 		return jsonCyclic(cfg, blocks)
 	case "slo":
 		return jsonSLO(cfg, blocks)
+	case "write":
+		return jsonWrite(cfg, blocks)
 	default:
-		return nil, fmt.Errorf("bench: experiment %q has no JSON mode (valid: table5, skew, cyclic, slo)", name)
+		return nil, fmt.Errorf("bench: experiment %q has no JSON mode (valid: table5, skew, cyclic, slo, write)", name)
 	}
 }
 

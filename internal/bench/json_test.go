@@ -131,6 +131,32 @@ func TestJSONCyclicReport(t *testing.T) {
 	}
 }
 
+// TestJSONWriteReport runs the live-write experiment end to end in report
+// form: sustained write throughput must be nonzero, both read phases must
+// record latencies, and the probe count must be stable (the churn writer
+// touches only its own predicate). No latency-ratio bound is asserted —
+// interference on a loaded CI runner is exactly what the committed
+// BENCH_write.json documents, not what a smoke test should flake on.
+func TestJSONWriteReport(t *testing.T) {
+	rep, err := RunJSONExperiment("write", ExpConfig{LUBMScale: 32, Timeout: 2 * time.Minute}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"read-quiesced/p50", "read-quiesced/p99", "read-churn/p50", "read-churn/p99", "writes-per-sec/sustained"} {
+		if rep.Medians[k] <= 0 {
+			t.Fatalf("%s: no median recorded (medians %v)", k, rep.Medians)
+		}
+	}
+	if rep.Counts["probe"] <= 0 {
+		t.Fatalf("probe query returned no rows (counts %v)", rep.Counts)
+	}
+	for _, k := range []string{"read-slowdown-under-churn/p50", "read-slowdown-under-churn/p99"} {
+		if _, err := strconv.ParseFloat(rep.Notes[k], 64); err != nil {
+			t.Fatalf("note %s: %v (notes %v)", k, err, rep.Notes)
+		}
+	}
+}
+
 // TestBenchRegression is the regression tier of the harness: pointed at a
 // committed baseline report via PARJ_BENCH_BASELINE, it replays the same
 // experiment at the baseline's parameters and fails if any median

@@ -1,0 +1,239 @@
+package bench
+
+// write.go — the "write" experiment: live-write throughput and read-latency
+// interference.
+//
+// The epoch design's pitch is that reads pay nothing when no writes are
+// pending and stay exact (and cheap) while writes churn and reconciliation
+// rebuilds bases in the background. This experiment measures that pitch on
+// the public parj.Store API:
+//
+//   - sustained write throughput: closed-loop Insert batches with periodic
+//     reconciliation folded in — verdicts/second through the full path,
+//     not just delta appends;
+//   - read latency p50/p99 on a quiesced store (no pending writes: the
+//     effective store IS the base store) versus the same store under
+//     continuous insert/delete churn with reconciliations — the number
+//     that would expose epoch-swap stalls or merge amplification on the
+//     read path.
+//
+// Blocks interleave the quiesced and churn read phases so machine drift
+// hits both alike, as everywhere else in this package.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"parj"
+	"parj/internal/lubm"
+)
+
+const (
+	// writeBatch is the triples per Insert call in the throughput phase —
+	// small enough to be write-amplification-honest, large enough that the
+	// measurement is not dominated by call overhead.
+	writeBatch = 64
+	// writeReconcileEvery is the pending-verdict threshold at which the
+	// throughput phase folds a reconcile into the measured loop.
+	writeReconcileEvery = 4096
+	// writeWindow is the closed-loop window per throughput sample.
+	writeWindow = 400 * time.Millisecond
+	// writeReadSamples is the number of probe-query runs per read phase.
+	writeReadSamples = 30
+)
+
+// jsonWrite measures the write experiment in report form.
+func jsonWrite(cfg ExpConfig, blocks int) (*Report, error) {
+	// A quarter of the table experiments' scale: the experiment measures
+	// the write path and read interference, not join throughput.
+	scale := cfg.LUBMScale / 4
+	if scale < 8 {
+		scale = 8
+	}
+	b := parj.NewBuilder(parj.LoadOptions{PosIndex: true})
+	for _, t := range lubm.Triples(scale, lubm.Config{}) {
+		b.Add(t.S, t.P, t.O)
+	}
+	db := b.Build()
+	defer db.Quiesce()
+
+	probe := `SELECT ?x ?y WHERE { ?x ` + lubm.PredTakesCourse + ` ?y }`
+	qopts := parj.QueryOptions{Threads: 2, Silent: true}
+	readOnce := func() (int64, float64, error) {
+		start := time.Now()
+		n, err := db.Count(probe, qopts)
+		return n, float64(time.Since(start).Microseconds()) / 1000, err
+	}
+
+	rep := &Report{
+		Name:   "write",
+		Blocks: blocks,
+		Params: map[string]string{
+			// lubm_scale is the config value, not the quartered store scale,
+			// so TestBenchRegression replays at identical parameters.
+			"lubm_scale":      fmt.Sprint(cfg.LUBMScale),
+			"store_scale":     fmt.Sprint(scale),
+			"read_threads":    fmt.Sprint(qopts.Threads),
+			"write_batch":     fmt.Sprint(writeBatch),
+			"reconcile_every": fmt.Sprint(writeReconcileEvery),
+		},
+		Medians: map[string]float64{},
+		Counts:  map[string]int64{},
+		Notes:   map[string]string{},
+	}
+
+	var (
+		quiP50, quiP99, chuP50, chuP99, wps []float64
+		novel                               int // monotone novel-term counter across blocks
+	)
+	for blk := 0; blk < blocks; blk++ {
+		blockStart := novel
+		// Phase 1: quiesced reads — reconcile away any pending writes first
+		// so the probe runs on a bare base store.
+		db.Reconcile()
+		db.Quiesce()
+		lats := make([]float64, 0, writeReadSamples)
+		for i := 0; i < writeReadSamples; i++ {
+			n, ms, err := readOnce()
+			if err != nil {
+				return nil, fmt.Errorf("bench: write probe (quiesced): %w", err)
+			}
+			if prev, ok := rep.Counts["probe"]; ok && prev != n {
+				return nil, fmt.Errorf("bench: write probe count moved: %d -> %d", prev, n)
+			}
+			rep.Counts["probe"] = n
+			lats = append(lats, ms)
+		}
+		sort.Float64s(lats)
+		quiP50 = append(quiP50, percentileMS(lats, 50))
+		quiP99 = append(quiP99, percentileMS(lats, 99))
+
+		// Phase 2: reads under write churn — a writer inserts novel triples,
+		// deletes the previous batch (steady-state store size) and
+		// reconciles on the delta threshold while the probe keeps running.
+		// The probe predicate is never written, so its count must not move.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prev []parj.Triple
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch := make([]parj.Triple, writeBatch)
+				for i := range batch {
+					novel++
+					batch[i] = parj.Triple{
+						S: fmt.Sprintf("<bench-w%d>", novel),
+						P: "<bench-wp>",
+						O: fmt.Sprintf("<bench-o%d>", novel%97),
+					}
+				}
+				db.Delete(prev)
+				db.Insert(batch)
+				prev = batch
+				if db.PendingWrites() >= writeReconcileEvery {
+					db.Reconcile()
+				}
+			}
+		}()
+		lats = lats[:0]
+		for i := 0; i < writeReadSamples; i++ {
+			n, ms, err := readOnce()
+			if err != nil {
+				close(stop)
+				wg.Wait()
+				return nil, fmt.Errorf("bench: write probe (churn): %w", err)
+			}
+			if n != rep.Counts["probe"] {
+				close(stop)
+				wg.Wait()
+				return nil, fmt.Errorf("bench: probe count moved under churn: %d -> %d (writes must not leak into unrelated predicates)",
+					rep.Counts["probe"], n)
+			}
+			lats = append(lats, ms)
+		}
+		close(stop)
+		wg.Wait()
+		sort.Float64s(lats)
+		chuP50 = append(chuP50, percentileMS(lats, 50))
+		chuP99 = append(chuP99, percentileMS(lats, 99))
+
+		// Phase 3: sustained write throughput — closed-loop batches with
+		// threshold reconciles folded into the measured window.
+		db.Reconcile()
+		verdicts := 0
+		start := time.Now()
+		for time.Since(start) < writeWindow {
+			batch := make([]parj.Triple, writeBatch)
+			for i := range batch {
+				novel++
+				batch[i] = parj.Triple{
+					S: fmt.Sprintf("<bench-w%d>", novel),
+					P: "<bench-wp>",
+					O: fmt.Sprintf("<bench-o%d>", novel%97),
+				}
+			}
+			db.Insert(batch)
+			verdicts += writeBatch
+			if db.PendingWrites() >= writeReconcileEvery {
+				db.Reconcile()
+			}
+		}
+		db.Reconcile() // fold the tail so every measured verdict reaches a base
+		wps = append(wps, float64(verdicts)/time.Since(start).Seconds())
+
+		// Return the store to its base triple set (novel terms are
+		// deterministic in the counter) so every block measures steady
+		// state, not cumulative growth of the bench predicate.
+		cleanup := make([]parj.Triple, 0, novel-blockStart)
+		for i := blockStart + 1; i <= novel; i++ {
+			cleanup = append(cleanup, parj.Triple{
+				S: fmt.Sprintf("<bench-w%d>", i),
+				P: "<bench-wp>",
+				O: fmt.Sprintf("<bench-o%d>", i%97),
+			})
+		}
+		db.Delete(cleanup)
+		db.Reconcile()
+		if cfg.Progress != nil {
+			cfg.Progress("write block %d/%d: quiesced p50 %.2fms p99 %.2fms | churn p50 %.2fms p99 %.2fms | %.0f writes/s",
+				blk+1, blocks, quiP50[blk], quiP99[blk], chuP50[blk], chuP99[blk], wps[blk])
+		}
+	}
+
+	rep.Medians["read-quiesced/p50"] = median(quiP50)
+	rep.Medians["read-quiesced/p99"] = median(quiP99)
+	rep.Medians["read-churn/p50"] = median(chuP50)
+	rep.Medians["read-churn/p99"] = median(chuP99)
+	rep.Medians["writes-per-sec/sustained"] = median(wps)
+	if q := rep.Medians["read-quiesced/p50"]; q > 0 {
+		rep.Notes["read-slowdown-under-churn/p50"] = fmt.Sprintf("%.2f", rep.Medians["read-churn/p50"]/q)
+	}
+	if q := rep.Medians["read-quiesced/p99"]; q > 0 {
+		rep.Notes["read-slowdown-under-churn/p99"] = fmt.Sprintf("%.2f", rep.Medians["read-churn/p99"]/q)
+	}
+	return rep, nil
+}
+
+// percentileMS reads the p-th percentile from ascending float samples by
+// nearest rank.
+func percentileMS(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p+99)/100 - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

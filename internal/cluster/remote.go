@@ -90,6 +90,10 @@ type RemoteOptions struct {
 	// passive aggregation of stats already on every response; acting on it
 	// (rebalancing) only happens when a policy is invoked explicitly.
 	HeatAlpha float64
+
+	// WriteLogCap bounds the coordinator's write replay log (write.go);
+	// 0 = default 1024 batches.
+	WriteLogCap int
 }
 
 // ShardError records which shard failed and why; Unwrap exposes the cause
@@ -151,6 +155,24 @@ type Remote struct {
 	endpoints      map[string]*endpointState
 	version        int64
 	closed         bool
+
+	// writeMu serializes the cluster write stream (write.go): one batch at
+	// a time gets the next sequence number and fans out to every replica.
+	writeMu  sync.Mutex
+	writeSeq uint64
+	// writeLog is the bounded replay log of recent batches: writeLog[i] has
+	// sequence logStart+i, and the log always ends at writeSeq. A replica
+	// that fell behind by at most len(writeLog) batches is caught up by
+	// replay; one further behind needs a snapshot warm first.
+	writeLog []WriteBatch
+	logStart uint64
+}
+
+// WriteBatch is one sequenced batch in the coordinator's replay log.
+type WriteBatch struct {
+	Seq     uint64
+	Inserts []remote.Triple
+	Deletes []remote.Triple
 }
 
 // NewRemote builds a coordinator. Close must be called to release clients

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"parj/internal/remote"
+)
+
+// write.go — the coordinator's side of the live write path.
+//
+// The coordinator is the single sequencer of the cluster write stream:
+// Write serializes batches under writeMu, stamps each with the next
+// sequence number, and fans it out to every distinct replica endpoint of
+// the pinned routing epoch. Replicas apply batches in identical order with
+// deletes before inserts, which keeps their append-only dictionaries —
+// and therefore their dictionary-encoded shard results — byte-identical.
+//
+// Fault model: a replica that misses a batch (killed mid-burst, network
+// cut) is removed from the routing table so queries stop landing on its
+// stale store; the batch itself still commits on the surviving replicas.
+// The coordinator keeps a bounded replay log, so a replica that comes back
+// (or a fresh one warmed from a peer snapshot that embeds its write-stream
+// position) is caught up by Resync — replaying exactly the log suffix the
+// snapshot does not contain — before it is re-admitted.
+
+// defaultWriteLogCap bounds the replay log when RemoteOptions.WriteLogCap
+// is zero.
+const defaultWriteLogCap = 1024
+
+// ErrLogTruncated reports a resync target that is further behind than the
+// replay log reaches; the replica must warm from a peer snapshot first.
+var ErrLogTruncated = errors.New("cluster: replica behind truncated write log")
+
+// WriteSeq reports the last committed write-batch sequence number.
+func (r *Remote) WriteSeq() uint64 {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	return r.writeSeq
+}
+
+// Write commits one write batch to the cluster: it assigns the next
+// sequence number, appends the batch to the replay log, and fans it out to
+// every distinct replica endpoint. Endpoints that fail to apply the batch
+// are removed from the routing table (queries must not read their stale
+// stores); the returned error is non-nil only when some shard group would
+// be left with no current replica — the batch is still committed on the
+// survivors and recorded in the log either way, so a recovered replica can
+// be caught up with Resync.
+func (r *Remote) Write(ctx context.Context, inserts, deletes []remote.Triple) (uint64, error) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	seq := r.writeSeq + 1
+	batch := WriteBatch{Seq: seq, Inserts: inserts, Deletes: deletes}
+
+	ep := r.pin()
+	defer r.unpin(ep)
+	req := &remote.WriteRequest{Seq: seq, Inserts: inserts, Deletes: deletes}
+	targets := distinctEndpoints(ep.replicas)
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		client := r.endpointClient(target)
+		if client == nil {
+			continue // retired between pin and now; nothing to apply
+		}
+		wg.Add(1)
+		go func(i int, c *remote.Client) {
+			defer wg.Done()
+			_, err := c.Write(ctx, req)
+			errs[i] = err
+		}(i, client)
+	}
+	wg.Wait()
+
+	// Commit: the batch is durable in the log even if some replica failed —
+	// sequence numbers never fork.
+	r.writeSeq = seq
+	if r.logStart == 0 {
+		r.logStart = seq
+	}
+	r.writeLog = append(r.writeLog, batch)
+	logCap := r.opts.WriteLogCap
+	if logCap <= 0 {
+		logCap = defaultWriteLogCap
+	}
+	if over := len(r.writeLog) - logCap; over > 0 {
+		r.writeLog = append([]WriteBatch(nil), r.writeLog[over:]...)
+		r.logStart += uint64(over)
+	}
+
+	var failed []string
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, targets[i])
+		}
+	}
+	if len(failed) == 0 {
+		return seq, nil
+	}
+	return seq, r.evictStale(ctx, failed)
+}
+
+// evictStale removes endpoints that missed a write batch from every shard
+// group that retains at least one other replica. An endpoint that is the
+// sole replica of some group cannot be removed (the group would be
+// unroutable); that is reported as an error — the group is serving a stale
+// store until the replica is resynced.
+func (r *Remote) evictStale(ctx context.Context, failed []string) error {
+	_, replicas := r.Topology()
+	stale := make(map[string]bool, len(failed))
+	for _, ep := range failed {
+		stale[ep] = true
+	}
+	var soleStale []string
+	changed := false
+	for s, reps := range replicas {
+		kept := reps[:0]
+		for _, ep := range reps {
+			if !stale[ep] {
+				kept = append(kept, ep)
+			}
+		}
+		if len(kept) == 0 {
+			// Removing every replica would orphan the group; keep it as-is
+			// and surface the staleness.
+			soleStale = append(soleStale, fmt.Sprintf("group %d: %v", s, reps))
+			continue
+		}
+		if len(kept) != len(reps) {
+			changed = true
+			replicas[s] = kept
+		}
+	}
+	var errs []error
+	if changed {
+		if _, err := r.Reconfigure(ctx, replicas); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: evicting stale replicas %v: %w", failed, err))
+		}
+	}
+	if len(soleStale) > 0 {
+		errs = append(errs, fmt.Errorf("cluster: write missed sole replicas (%v); resync required", soleStale))
+	}
+	return errors.Join(errs...)
+}
+
+// Resync catches a replica up with the write stream: it reads the
+// replica's applied sequence from /statz and replays the missing log
+// suffix in order. The write stream is held still for the duration, so a
+// successful resync leaves the replica exactly current — ready for
+// AddReplica. Returns ErrLogTruncated when the replica is too far behind
+// for the bounded log; it must warm from a peer snapshot (which embeds a
+// newer stream position) and try again.
+func (r *Remote) Resync(ctx context.Context, endpoint string) error {
+	client := r.endpointClient(endpoint)
+	owned := false
+	if client == nil {
+		// Not (or no longer) in the routing table — a rejoining node.
+		client = remote.NewClient(endpoint, 0)
+		owned = true
+	}
+	if owned {
+		defer client.Close()
+	}
+	sz, err := client.Statz(ctx)
+	if err != nil {
+		return err
+	}
+
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	if sz.WriteSeq >= r.writeSeq {
+		return nil
+	}
+	if sz.WriteSeq+1 < r.logStart {
+		return fmt.Errorf("%w: replica at %d, log starts at %d", ErrLogTruncated, sz.WriteSeq, r.logStart)
+	}
+	for _, batch := range r.writeLog[sz.WriteSeq+1-r.logStart:] {
+		req := &remote.WriteRequest{Seq: batch.Seq, Inserts: batch.Inserts, Deletes: batch.Deletes}
+		if _, err := client.Write(ctx, req); err != nil {
+			return fmt.Errorf("cluster: resync %s at batch %d: %w", endpoint, batch.Seq, err)
+		}
+	}
+	return nil
+}
+
+// ReconcileAll forces a synchronous reconciliation on every distinct
+// replica endpoint of the current epoch, so pending deltas everywhere are
+// merged into fresh base stores.
+func (r *Remote) ReconcileAll(ctx context.Context) error {
+	ep := r.pin()
+	defer r.unpin(ep)
+	targets := distinctEndpoints(ep.replicas)
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		client := r.endpointClient(target)
+		if client == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c *remote.Client) {
+			defer wg.Done()
+			_, err := c.Reconcile(ctx)
+			errs[i] = err
+		}(i, client)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

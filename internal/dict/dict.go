@@ -13,15 +13,20 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // NoID is the reserved ID meaning "no such value".
 const NoID uint32 = 0
 
 // Dict is a bijective mapping between strings and dense uint32 IDs 1..N.
-// The zero value is ready to use. Dict is not safe for concurrent mutation;
-// lookups are safe once loading has finished.
+// The zero value is ready to use. The dictionary is append-only — IDs, once
+// assigned, never change — and safe for concurrent use: the live write path
+// encodes new terms while queries decode result rows, so Encode takes the
+// write lock and the read-side methods share a read lock. None of them sit
+// on the join hot path (probes work on already-encoded IDs).
 type Dict struct {
+	mu      sync.RWMutex
 	ids     map[string]uint32
 	strings []string // strings[i] holds the value with ID i+1
 }
@@ -33,6 +38,8 @@ func New() *Dict {
 
 // Encode returns the ID for s, assigning the next free ID if s is new.
 func (d *Dict) Encode(s string) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.ids == nil {
 		d.ids = make(map[string]uint32)
 	}
@@ -47,13 +54,18 @@ func (d *Dict) Encode(s string) uint32 {
 
 // Lookup returns the ID for s, or NoID if s has not been encoded.
 func (d *Dict) Lookup(s string) uint32 {
-	return d.ids[s]
+	d.mu.RLock()
+	id := d.ids[s]
+	d.mu.RUnlock()
+	return id
 }
 
 // Decode returns the string for id. It panics if id is NoID or out of range,
 // mirroring slice indexing: handing an unknown ID to Decode is a programming
 // error, not a data error.
 func (d *Dict) Decode(id uint32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id == NoID || int(id) > len(d.strings) {
 		panic(fmt.Sprintf("dict: Decode of unknown ID %d (dictionary has %d entries)", id, len(d.strings)))
 	}
@@ -61,27 +73,49 @@ func (d *Dict) Decode(id uint32) string {
 }
 
 // Len reports the number of distinct values encoded.
-func (d *Dict) Len() int { return len(d.strings) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.strings)
+}
 
 // MaxID returns the largest assigned ID (equal to Len).
-func (d *Dict) MaxID() uint32 { return uint32(len(d.strings)) }
+func (d *Dict) MaxID() uint32 { return uint32(d.Len()) }
+
+// SnapshotStrings returns the values in ID order as a read-only slice.
+// Because the dictionary is append-only, concurrent Encodes can only extend
+// the backing array past the returned length; the returned prefix never
+// mutates. Callers must not modify the slice. This is the consistent
+// (length, contents) pair serialization needs under concurrent writes.
+func (d *Dict) SnapshotStrings() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.strings
+}
 
 // Sorted returns the encoded strings in lexicographic order. It is intended
 // for deterministic dumps and tests, not hot paths.
 func (d *Dict) Sorted() []string {
+	d.mu.RLock()
 	out := make([]string, len(d.strings))
 	copy(out, d.strings)
+	d.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // WriteTo serializes the dictionary as one value per line, in ID order, so
 // that ReadFrom reconstructs identical IDs. Values must not contain '\n';
-// N-Triples terms never do.
+// N-Triples terms never do. Concurrent Encodes may append entries after the
+// snapshot of the length taken here; because the dictionary is append-only,
+// the serialized prefix is still internally consistent.
 func (d *Dict) WriteTo(w io.Writer) (int64, error) {
+	d.mu.RLock()
+	strings := d.strings
+	d.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	var n int64
-	for _, s := range d.strings {
+	for _, s := range strings {
 		k, err := bw.WriteString(s)
 		n += int64(k)
 		if err != nil {
@@ -98,6 +132,8 @@ func (d *Dict) WriteTo(w io.Writer) (int64, error) {
 // ReadFrom loads a dictionary previously written with WriteTo. It replaces
 // the receiver's contents.
 func (d *Dict) ReadFrom(r io.Reader) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.ids = make(map[string]uint32)
 	d.strings = d.strings[:0]
 	sc := bufio.NewScanner(r)
@@ -124,7 +160,7 @@ var ErrUnknownValue = errors.New("dict: unknown value")
 
 // MustLookup returns the ID for s or ErrUnknownValue.
 func (d *Dict) MustLookup(s string) (uint32, error) {
-	if id := d.ids[s]; id != NoID {
+	if id := d.Lookup(s); id != NoID {
 		return id, nil
 	}
 	return NoID, fmt.Errorf("%w: %q", ErrUnknownValue, s)

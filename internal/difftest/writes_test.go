@@ -1,0 +1,194 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parj/internal/rdf"
+)
+
+// TestWriteMatrix is the mutable smoke run: seeded write schedules replayed
+// on every write-capable engine configuration (live store across the
+// strategy/worker/join matrix, background auto-reconcile, and the loopback
+// cluster write path), diffed against the mutable oracle at every query.
+func TestWriteMatrix(t *testing.T) {
+	cfg := WritesConfig{Seed: 1}
+	if *long {
+		cfg.Schedules = 25
+		cfg.OpsPerSchedule = 60
+	}
+	if testing.Verbose() {
+		cfg.Log = t.Logf
+	}
+	rep := RunWrites(cfg)
+	t.Logf("schedules=%d engineRuns=%d checkpoints=%d skipped=%d failures=%d",
+		rep.Schedules, rep.EngineRuns, rep.Checkpoints, rep.Skipped, len(rep.Failures))
+	if rep.Checkpoints < 100 {
+		t.Errorf("completed only %d oracle checkpoints, want >= 100 (skipped %d)",
+			rep.Checkpoints, rep.Skipped)
+	}
+	for i := range rep.Failures {
+		f := &rep.Failures[i]
+		t.Errorf("%s", f.String())
+		if f.Repro != "" {
+			t.Logf("shrunk repro:\n%s", f.Repro)
+		}
+	}
+}
+
+// TestWriteScheduleShape checks the generator keeps its structural
+// promises: every reconcile is followed by a query checkpoint, the schedule
+// ends on a reconcile+query pair, and the churn the harness exists for
+// (duplicate inserts, deletes, same-batch delete+reinsert) actually occurs.
+func TestWriteScheduleShape(t *testing.T) {
+	var dupIns, sameBatchChurn, dels int
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds := GenDataset(rng, DatasetConfig{MaxTriples: 150})
+		sched := GenWriteSchedule(rng, ds, 40)
+		if len(sched.Base) == 0 {
+			t.Fatalf("seed %d: empty base", seed)
+		}
+		for i := range sched.Ops {
+			op := &sched.Ops[i]
+			if op.Reconcile {
+				if i+1 >= len(sched.Ops) || sched.Ops[i+1].Query == "" {
+					t.Fatalf("seed %d: reconcile at op %d has no checkpoint query", seed, i)
+				}
+			}
+			seen := map[rdf.Triple]bool{}
+			for _, tr := range op.Inserts {
+				if seen[tr] {
+					dupIns++
+				}
+				seen[tr] = true
+			}
+			dels += len(op.Deletes)
+			for _, tr := range op.Deletes {
+				for _, ins := range op.Inserts {
+					if tr == ins {
+						sameBatchChurn++
+					}
+				}
+			}
+		}
+		n := len(sched.Ops)
+		if n < 2 || !sched.Ops[n-2].Reconcile || sched.Ops[n-1].Query == "" {
+			t.Fatalf("seed %d: schedule does not end with reconcile+query", seed)
+		}
+	}
+	if dels == 0 || sameBatchChurn == 0 {
+		t.Errorf("generator produced no churn: dels=%d sameBatchChurn=%d", dels, sameBatchChurn)
+	}
+}
+
+// TestWriteDeterminism re-runs a slice of the write matrix with the same
+// seed and requires identical reports.
+func TestWriteDeterminism(t *testing.T) {
+	cfg := WritesConfig{Seed: 42, Schedules: 2, OpsPerSchedule: 15, NoShrink: true,
+		Workers: []int{2}}
+	a, b := RunWrites(cfg), RunWrites(cfg)
+	fp := func(r *WritesReport) string {
+		s := fmt.Sprintf("schedules=%d runs=%d checkpoints=%d skipped=%d",
+			r.Schedules, r.EngineRuns, r.Checkpoints, r.Skipped)
+		for i := range r.Failures {
+			s += "\n" + r.Failures[i].String()
+		}
+		return s
+	}
+	if fp(a) != fp(b) {
+		t.Errorf("same seed, different reports:\n--- first\n%s\n--- second\n%s", fp(a), fp(b))
+	}
+}
+
+// TestWriteHarnessCatchesLossyEngine is the harness self-check: an engine
+// that drops deletes must produce a divergence, and the shrinker must
+// reduce the failing schedule without losing the failure.
+func TestWriteHarnessCatchesLossyEngine(t *testing.T) {
+	good, err := FindWriteConfig("live-AdBinary-w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := WriteEngineConfig{
+		Name: "lossy",
+		Make: func(base []rdf.Triple) (WriteEngine, error) {
+			inner, err := good.Make(base)
+			if err != nil {
+				return nil, err
+			}
+			return &dropDeletes{inner}, nil
+		},
+	}
+
+	// Find a schedule where dropping deletes is observable.
+	for seed := int64(1); ; seed++ {
+		if seed > 200 {
+			t.Fatal("no schedule exposed the lossy engine in 200 seeds")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ds := GenDataset(rng, DatasetConfig{MaxTriples: 120})
+		sched := GenWriteSchedule(rng, ds, 30)
+		opIdx, diff, _, _ := replaySchedule(bad, sched, 2_000_000, 20_000)
+		if diff == "" {
+			continue
+		}
+
+		// Sanity: the correct engine passes the same schedule.
+		if _, d, _, _ := replaySchedule(good, sched, 2_000_000, 20_000); d != "" {
+			t.Fatalf("correct engine diverged on seed %d: %s", seed, d)
+		}
+
+		small := ShrinkWriteSchedule(sched, bad, 2_000_000, 20_000)
+		if _, d, _, _ := replaySchedule(bad, small, 2_000_000, 20_000); d == "" {
+			t.Fatal("shrunk schedule no longer fails")
+		}
+		if len(small.Ops) > len(sched.Ops) || len(small.Base) > len(sched.Base) {
+			t.Fatalf("shrinker grew the schedule: ops %d -> %d, base %d -> %d",
+				len(sched.Ops), len(small.Ops), len(sched.Base), len(small.Base))
+		}
+		repro := FormatWriteRepro(small, good.Name)
+		for _, want := range []string{"CheckWriteRepro", "difftest.WriteOp", good.Name} {
+			if !strings.Contains(repro, want) {
+				t.Errorf("repro missing %q:\n%s", want, repro)
+			}
+		}
+		t.Logf("seed %d: failure at op %d shrank %d -> %d ops, %d -> %d base triples",
+			seed, opIdx, len(sched.Ops), len(small.Ops), len(sched.Base), len(small.Base))
+		return
+	}
+}
+
+// dropDeletes is the minimal broken engine used by the self-check.
+type dropDeletes struct{ WriteEngine }
+
+func (e *dropDeletes) Apply(inserts, deletes []rdf.Triple) error {
+	return e.WriteEngine.Apply(inserts, nil)
+}
+
+// TestFindWriteConfig requires every generated configuration name to
+// resolve back to a working factory — shrunk repros depend on it — and
+// host-independent names (foreign worker counts) to parse.
+func TestFindWriteConfig(t *testing.T) {
+	for _, ec := range WriteEngineConfigs(nil) {
+		got, err := FindWriteConfig(ec.Name)
+		if err != nil {
+			t.Errorf("FindWriteConfig(%q): %v", ec.Name, err)
+			continue
+		}
+		if got.Name != ec.Name {
+			t.Errorf("FindWriteConfig(%q) resolved to %q", ec.Name, got.Name)
+		}
+	}
+	// A worker count this host does not enumerate must still parse.
+	if _, err := FindWriteConfig("live-Index-w7"); err != nil {
+		t.Errorf("foreign worker count did not parse: %v", err)
+	}
+	if _, err := FindWriteConfig("live-wcoj-AdBinary-w3"); err != nil {
+		t.Errorf("join-forced foreign config did not parse: %v", err)
+	}
+	if _, err := FindWriteConfig("no-such-engine"); err == nil {
+		t.Error("unknown engine name resolved")
+	}
+}

@@ -1,0 +1,293 @@
+// Package live turns the immutable PARJ store into a mutable one without
+// touching the engine's hot paths. It is the epoch machinery of the write
+// path:
+//
+//   - Writes accumulate in a store.Delta (sorted adds and tombstones per
+//     predicate, mirroring the CSR layout). Every write batch publishes a
+//     new View — an immutable pair (base store, frozen delta) plus a
+//     monotonically increasing version.
+//   - Queries pin one View for their whole plan+execute lifetime. A view
+//     with an empty delta hands back the base store unchanged, so read-only
+//     workloads pay exactly one atomic load and one branch per query — the
+//     probe loops never see an overlay. A view with pending writes lazily
+//     materializes the merged effective store (base ∖ dels ∪ adds) once,
+//     memoized, and the whole engine — optimizer, pipeline, WCOJ, morsel
+//     scheduler — runs on it unchanged, which is what makes the mutable
+//     store oracle-exact by construction.
+//   - A reconciler (synchronous via Reconcile, or a background goroutine
+//     once the pending-op threshold is crossed) promotes the memoized merge
+//     to the new base, prunes the delta that accumulated meanwhile down to
+//     its residual, and atomically swaps the epoch. In-flight queries keep
+//     their pinned views alive through the garbage collector — the same
+//     pattern internal/cluster/topology.go uses for routing epochs.
+//
+// The dictionaries are shared across all epochs and append-only: IDs are
+// stable forever, so a snapshot, a replica replay, or an old view can never
+// see a term's ID change under it.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"parj/internal/rdf"
+	"parj/internal/stats"
+	"parj/internal/store"
+)
+
+// ErrSeqGap reports a sequenced write that would skip ahead of the locally
+// applied write stream — the replica missed at least one batch and must be
+// resynced (warm-from + replay) before it can serve again.
+var ErrSeqGap = errors.New("live: write sequence gap")
+
+// View is one immutable epoch of the store: a base CSR store plus a frozen
+// delta overlay. Safe for concurrent use; queries pin one view for both
+// planning and execution so constants, plans and statistics agree.
+type View struct {
+	version uint64
+	seq     uint64
+	base    *store.Store
+	delta   *store.Delta
+	bstats  *stats.Stats
+	opts    store.BuildOptions
+
+	once   sync.Once
+	eff    *store.Store
+	estats *stats.Stats
+}
+
+// Version is the monotonically increasing epoch number; it advances on
+// every published write batch and every reconciliation. Prepared queries
+// replan when it moves.
+func (v *View) Version() uint64 { return v.version }
+
+// Seq is the last applied write-batch sequence number.
+func (v *View) Seq() uint64 { return v.seq }
+
+// Pending reports the write verdicts not yet reconciled into the base.
+func (v *View) Pending() int { return v.delta.Ops() }
+
+// Store returns the effective store of this epoch. With no pending writes
+// this is the base store itself — the zero-cost read-only path. Otherwise
+// the merged store is materialized once and memoized; concurrent callers
+// share the materialization.
+func (v *View) Store() *store.Store {
+	if v.delta.Empty() {
+		return v.base
+	}
+	v.materialize()
+	return v.eff
+}
+
+// Stats returns optimizer statistics consistent with Store().
+func (v *View) Stats() *stats.Stats {
+	if v.delta.Empty() {
+		return v.bstats
+	}
+	v.materialize()
+	return v.estats
+}
+
+// Base returns the epoch's base store without materializing the overlay.
+func (v *View) Base() *store.Store { return v.base }
+
+// ApproxTriples estimates the effective triple count without forcing a
+// merge: base plus net adds minus net tombstones. Exact when no writes are
+// pending; under pending deltas an add already present in the base (or a
+// tombstone absent from it) skews it until the next reconcile. Health
+// endpoints use this so a monitoring probe never pays for a merge.
+func (v *View) ApproxTriples() int {
+	adds, dels := v.delta.Counts()
+	return v.base.NumTriples() + adds - dels
+}
+
+func (v *View) materialize() {
+	v.once.Do(func() {
+		v.eff = store.ApplyDelta(v.base, v.delta, v.opts)
+		v.estats = stats.NewDerived(v.eff, v.bstats)
+	})
+}
+
+// Handle is the mutable façade over a chain of immutable views. All writes
+// are serialized through it; reads are a single atomic pointer load.
+type Handle struct {
+	opts store.BuildOptions
+
+	mu  sync.Mutex // serializes writers and view publication
+	seq uint64
+	cur atomic.Pointer[View]
+
+	recMu sync.Mutex // serializes reconciliations
+
+	autoOps atomic.Int64 // pending-op threshold for background reconcile; 0 = off
+	wg      sync.WaitGroup
+}
+
+// New wraps a built store. ss may be nil (statistics are then computed
+// here). opts should be the options the store was built with so merged
+// tables keep the same physical shape; store.InferBuildOptions recovers the
+// index choice from the store itself.
+func New(base *store.Store, ss *stats.Stats, opts store.BuildOptions) *Handle {
+	if ss == nil {
+		ss = stats.New(base)
+	}
+	h := &Handle{opts: opts}
+	h.cur.Store(&View{version: 1, base: base, delta: &store.Delta{}, bstats: ss, opts: opts})
+	return h
+}
+
+// View returns the current epoch. Callers must use one View per query for
+// both planning and execution.
+func (h *Handle) View() *View { return h.cur.Load() }
+
+// Seq returns the last applied write-batch sequence number.
+func (h *Handle) Seq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// Pending reports the write verdicts awaiting reconciliation.
+func (h *Handle) Pending() int { return h.View().Pending() }
+
+// SeedSeq positions the handle in an existing write stream: a replica
+// warmed from a peer snapshot that already contains batches up to seq
+// resumes the stream there — the next Apply must carry seq+1. Only valid
+// before any local writes.
+func (h *Handle) SeedSeq(seq uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.seq != 0 || seq == 0 {
+		return
+	}
+	h.seq = seq
+	v := h.cur.Load()
+	h.cur.Store(&View{
+		version: v.version + 1,
+		seq:     seq,
+		base:    v.base,
+		delta:   v.delta,
+		bstats:  v.bstats,
+		opts:    v.opts,
+	})
+}
+
+// SetAutoReconcile arms (or, with 0, disarms) the background reconciler:
+// once a published view carries at least ops pending verdicts, one
+// goroutine merges the frozen delta into a fresh base and swaps the epoch.
+// At most one background reconcile runs at a time.
+func (h *Handle) SetAutoReconcile(ops int) { h.autoOps.Store(int64(ops)) }
+
+// Quiesce blocks until any background reconciliation in flight has
+// finished. Callers must stop issuing writes first.
+func (h *Handle) Quiesce() { h.wg.Wait() }
+
+// Apply records one write batch — deletes first, then inserts, the order
+// every replica must share for dictionary determinism — and publishes the
+// new view.
+//
+// seq sequences the batch for replication: 0 means "next" (the unsequenced
+// single-node path), a value ≤ the applied sequence is an idempotent replay
+// and a no-op, a value that would skip ahead returns ErrSeqGap. The applied
+// sequence is returned.
+//
+// Deleting a triple containing a term the dictionary has never seen is a
+// no-op (the triple cannot exist) and — deliberately — does not pollute the
+// dictionary. Inserts encode new terms; the dictionaries are append-only
+// and shared with every existing view, which is safe because an ID, once
+// assigned, never changes.
+func (h *Handle) Apply(seq uint64, inserts, deletes []rdf.Triple) (uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch {
+	case seq == 0:
+		seq = h.seq + 1
+	case seq <= h.seq:
+		return h.seq, nil
+	case seq != h.seq+1:
+		return h.seq, fmt.Errorf("%w: applied %d, got %d", ErrSeqGap, h.seq, seq)
+	}
+	v := h.cur.Load()
+	nd := v.delta.Clone()
+	res, preds := v.base.Resources, v.base.Predicates
+	for _, t := range deletes {
+		s, p, o := res.Lookup(t.S), preds.Lookup(t.P), res.Lookup(t.O)
+		if s == 0 || p == 0 || o == 0 {
+			continue
+		}
+		nd.Delete(s, p, o)
+	}
+	for _, t := range inserts {
+		nd.Insert(res.Encode(t.S), preds.Encode(t.P), res.Encode(t.O))
+	}
+	h.seq = seq
+	h.cur.Store(&View{
+		version: v.version + 1,
+		seq:     seq,
+		base:    v.base,
+		delta:   nd,
+		bstats:  v.bstats,
+		opts:    v.opts,
+	})
+	if n := h.autoOps.Load(); n > 0 && int64(nd.Ops()) >= n && h.recMu.TryLock() {
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			defer h.recMu.Unlock()
+			h.reconcile()
+		}()
+	}
+	return seq, nil
+}
+
+// Insert applies one insert batch (sequence "next").
+func (h *Handle) Insert(triples []rdf.Triple) uint64 {
+	seq, _ := h.Apply(0, triples, nil)
+	return seq
+}
+
+// Delete applies one delete batch (sequence "next").
+func (h *Handle) Delete(triples []rdf.Triple) uint64 {
+	seq, _ := h.Apply(0, nil, triples)
+	return seq
+}
+
+// Reconcile synchronously merges the pending delta into a fresh base store
+// and swaps the epoch. Writes that land while the merge runs stay pending:
+// they are pruned to their residual against the new base and carried into
+// the new epoch's overlay. In-flight queries keep the views they pinned.
+// Returns the view current after the swap.
+func (h *Handle) Reconcile() *View {
+	h.recMu.Lock()
+	defer h.recMu.Unlock()
+	return h.reconcile()
+}
+
+// reconcile runs with recMu held. The expensive merge happens outside the
+// writer lock, so writes continue to land while it runs.
+func (h *Handle) reconcile() *View {
+	h.mu.Lock()
+	v := h.cur.Load()
+	h.mu.Unlock()
+	if v.delta.Empty() {
+		return v
+	}
+	merged := v.Store() // memoized: a query may already have paid for it
+	mergedStats := v.Stats()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cur := h.cur.Load()
+	nv := &View{
+		version: cur.version + 1,
+		seq:     h.seq,
+		base:    merged,
+		delta:   cur.delta.Prune(merged),
+		bstats:  mergedStats,
+		opts:    h.opts,
+	}
+	h.cur.Store(nv)
+	return nv
+}

@@ -256,6 +256,12 @@ func lookupConstants(q *sparql.Query, st *store.Store, x Expander) (infos []patt
 		} else {
 			in.predConst = true
 			in.predID = st.Predicates.Lookup(tp.P.Value)
+			if int(in.predID) > st.NumPredicates() {
+				// The dictionary is shared across epoch views and append-only:
+				// a concurrent insert can register a predicate this view has
+				// no table for yet. For this view it provably has no triples.
+				in.predID = 0
+			}
 			if in.predID == 0 {
 				// A predicate absent from the dictionary normally proves
 				// the query empty — unless a hierarchy implies it through

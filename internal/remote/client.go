@@ -151,6 +151,65 @@ func (c *Client) Exec(ctx context.Context, req *ExecRequest) (*ExecResponse, err
 	return &out, nil
 }
 
+// Write applies one sequenced write batch on the node. A seq-gap refusal
+// comes back as a NodeError with KindSeqGap — deterministic, not retryable
+// on this replica without a resync.
+func (c *Client) Write(ctx context.Context, req *WriteRequest) (*WriteResponse, error) {
+	var out WriteResponse
+	if err := c.postJSON(ctx, WritePath, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reconcile forces a synchronous reconciliation on the node.
+func (c *Client) Reconcile(ctx context.Context) (*WriteResponse, error) {
+	var out WriteResponse
+	if err := c.postJSON(ctx, ReconcilePath, struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// postJSON is the shared POST-JSON/decode-JSON round trip with the
+// protocol's error taxonomy.
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return &TransportError{Endpoint: c.endpoint, Err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return &TransportError{Endpoint: c.endpoint, Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var ne ErrorResponse
+		if err := json.Unmarshal(raw, &ne); err != nil || ne.Kind == "" {
+			return &TransportError{Endpoint: c.endpoint,
+				Err: fmt.Errorf("status %d with undecodable error body", resp.StatusCode)}
+		}
+		nerr := &NodeError{Kind: ne.Kind, Msg: ne.Error}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			nerr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nerr
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return &TransportError{Endpoint: c.endpoint, Err: fmt.Errorf("malformed response: %w", err)}
+	}
+	return nil
+}
+
 // ErrNotReady reports a node that answered but is not (yet) serving
 // queries: still warming its replica, or draining. It is distinct from a
 // transport fault — the process is up, the replica isn't.
@@ -211,27 +270,37 @@ func (c *Client) Statz(ctx context.Context) (*StatzResponse, error) {
 // loader — a warming replica can simply retry another peer; it can never
 // silently serve a torn replica.
 func (c *Client) Snapshot(ctx context.Context) (*store.Store, error) {
+	st, _, err := c.SnapshotSeq(ctx)
+	return st, err
+}
+
+// SnapshotSeq is Snapshot plus the write-stream position: the returned seq
+// is the last write batch the snapshot already contains (parsed from
+// WriteSeqHeader; 0 when the source predates the write path). A warming
+// replica seeds its live handle with it and replays the stream from there.
+func (c *Client) SnapshotSeq(ctx context.Context) (*store.Store, uint64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint+SnapshotPath, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, &TransportError{Endpoint: c.endpoint, Err: err}
+		return nil, 0, &TransportError{Endpoint: c.endpoint, Err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
 		if resp.StatusCode == http.StatusServiceUnavailable {
-			return nil, fmt.Errorf("%s: snapshot source: %w", c.endpoint, ErrNotReady)
+			return nil, 0, fmt.Errorf("%s: snapshot source: %w", c.endpoint, ErrNotReady)
 		}
-		return nil, &TransportError{Endpoint: c.endpoint, Err: fmt.Errorf("snapshot status %d", resp.StatusCode)}
+		return nil, 0, &TransportError{Endpoint: c.endpoint, Err: fmt.Errorf("snapshot status %d", resp.StatusCode)}
 	}
+	seq, _ := strconv.ParseUint(resp.Header.Get(WriteSeqHeader), 10, 64)
 	st, err := store.LoadSnapshot(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("remote: warming from %s: %w", c.endpoint, err)
+		return nil, 0, fmt.Errorf("remote: warming from %s: %w", c.endpoint, err)
 	}
-	return st, nil
+	return st, seq, nil
 }
 
 // Health probes the node's liveness endpoint.

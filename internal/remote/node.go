@@ -13,7 +13,9 @@ import (
 
 	"parj/internal/core"
 	"parj/internal/governance"
+	"parj/internal/live"
 	"parj/internal/optimizer"
+	"parj/internal/rdf"
 	"parj/internal/rdfs"
 	"parj/internal/resilience"
 	"parj/internal/sparql"
@@ -25,15 +27,23 @@ import (
 // plus a handful of integers, so anything bigger is hostile.
 const maxRequestBytes = 1 << 20
 
+// maxWriteBytes caps the /write request body; write batches carry triple
+// term strings, so they get a roomier (but still bounded) limit.
+const maxWriteBytes = 64 << 20
+
 // Node serves shard-execution requests over one full replica of the store.
 // It is the handler side of cmd/parj-node and of the loopback test
 // clusters; construct with NewNode and mount Handler on an HTTP server.
 type Node struct {
-	st *store.Store
-	ss *stats.Stats
+	// h is the replica's live store: queries pin one epoch view per
+	// request, writes land through /write, reconciliation swaps epochs.
+	h *live.Handle
 
-	hierOnce sync.Once
-	hier     *rdfs.Hierarchy
+	// hier caches the RDFS hierarchy per store epoch: writes can add
+	// schema triples, so the closure is recomputed when the epoch moves.
+	hierMu  sync.Mutex
+	hierVer uint64
+	hier    *rdfs.Hierarchy
 
 	// ready gates /exec and /readyz: a node answers queries only after its
 	// replica is loaded and before draining starts.
@@ -94,14 +104,16 @@ type NodeOptions struct {
 	// once the replica is loaded); the zero value is ready immediately,
 	// which is what in-process tests want.
 	NotReady bool
+	// AutoReconcileOps arms background reconciliation: once at least this
+	// many write verdicts are pending, a goroutine merges them into a fresh
+	// base store (0 = reconcile only on explicit /reconcile).
+	AutoReconcileOps int
 }
 
 // NewNode wraps a loaded replica. ss may be nil (computed from st).
 func NewNode(st *store.Store, ss *stats.Stats, opts NodeOptions) *Node {
-	if ss == nil {
-		ss = stats.New(st)
-	}
-	n := &Node{st: st, ss: ss}
+	n := &Node{h: live.New(st, ss, store.InferBuildOptions(st))}
+	n.h.SetAutoReconcile(opts.AutoReconcileOps)
 	if opts.AdmissionTarget > 0 {
 		n.adaptive = governance.NewAdaptiveLimiter(governance.AdmissionOptions{
 			MaxConcurrent: opts.MaxConcurrent,
@@ -128,11 +140,21 @@ func (n *Node) StartDrain() { n.draining.Store(true) }
 // Ready reports whether the node currently accepts queries.
 func (n *Node) Ready() bool { return n.ready.Load() && !n.draining.Load() }
 
-// Store exposes the replica (coordinator-side decode in loopback setups).
-func (n *Node) Store() *store.Store { return n.st }
+// Store exposes the replica's current effective store (coordinator-side
+// decode in loopback setups; merges pending writes if any).
+func (n *Node) Store() *store.Store { return n.h.View().Store() }
 
-func (n *Node) hierarchy() *rdfs.Hierarchy {
-	n.hierOnce.Do(func() { n.hier = rdfs.New(n.st, "", "", "") })
+// Live exposes the replica's live store handle (write-path tests and the
+// node binary's warm-from seq seeding).
+func (n *Node) Live() *live.Handle { return n.h }
+
+func (n *Node) hierarchy(v *live.View) *rdfs.Hierarchy {
+	n.hierMu.Lock()
+	defer n.hierMu.Unlock()
+	if n.hier == nil || n.hierVer != v.Version() {
+		n.hier = rdfs.New(v.Store(), "", "", "")
+		n.hierVer = v.Version()
+	}
 	return n.hier
 }
 
@@ -140,10 +162,12 @@ func (n *Node) hierarchy() *rdfs.Hierarchy {
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(ExecPath, n.handleExec)
+	mux.HandleFunc(WritePath, n.handleWrite)
+	mux.HandleFunc(ReconcilePath, n.handleReconcile)
 	mux.HandleFunc(HealthPath, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "ok",
-			"triples":  n.st.NumTriples(),
+			"triples":  n.h.View().ApproxTriples(),
 			"inflight": n.admit.InFlight(),
 			"ready":    n.Ready(),
 		})
@@ -181,18 +205,22 @@ func (n *Node) Statz() *StatzResponse {
 	totals := n.totals
 	n.statMu.Unlock()
 	astats := n.adaptive.Stats()
+	v := n.h.View()
 	return &StatzResponse{
-		Ready:        n.Ready(),
-		Triples:      n.st.NumTriples(),
-		InFlight:     n.admit.InFlight(),
-		Queries:      n.queries.Load(),
-		Rejections:   n.rejections.Load(),
-		Sheds:        n.sheds.Load(),
-		Expired:      n.expired.Load(),
-		QueueDelayMS: float64(astats.QueueDelay) / float64(time.Millisecond),
-		Shedding:     astats.Shedding,
-		Failures:     n.failures.Load(),
-		Sched:        totals,
+		Ready:         n.Ready(),
+		Triples:       v.ApproxTriples(),
+		InFlight:      n.admit.InFlight(),
+		Queries:       n.queries.Load(),
+		Rejections:    n.rejections.Load(),
+		Sheds:         n.sheds.Load(),
+		Expired:       n.expired.Load(),
+		QueueDelayMS:  float64(astats.QueueDelay) / float64(time.Millisecond),
+		Shedding:      astats.Shedding,
+		Failures:      n.failures.Load(),
+		WriteSeq:      n.h.Seq(),
+		PendingWrites: v.Pending(),
+		Epoch:         v.Version(),
+		Sched:         totals,
 	}
 }
 
@@ -209,10 +237,73 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, KindOverload, errors.New("replica not loaded"))
 		return
 	}
+	// Snapshot the effective store of one pinned view: pending writes are
+	// merged in, and the header tells the warming peer which write batches
+	// the stream already contains so it can resume the stream right there.
+	v := n.h.View()
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(WriteSeqHeader, strconv.FormatUint(v.Seq(), 10))
 	// A write error here means the peer went away mid-stream; the trailing
 	// CRC it never received makes the truncation unambiguous on its side.
-	n.st.Save(w)
+	v.Store().Save(w)
+}
+
+// handleWrite applies one sequenced write batch to the live store. Writes
+// are gated on the replica being loaded, not on Ready(): a draining node
+// still in a replica group must keep applying the stream or it would need a
+// full resync to ever come back.
+func (n *Node) handleWrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, KindInternal, errors.New("POST required"))
+		return
+	}
+	if !n.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, KindOverload, errors.New("replica not loaded"))
+		return
+	}
+	var req WriteRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxWriteBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, KindParse, fmt.Errorf("decoding write: %w", err))
+		return
+	}
+	seq, err := n.h.Apply(req.Seq, toRDFTriples(req.Inserts), toRDFTriples(req.Deletes))
+	if err != nil {
+		if errors.Is(err, live.ErrSeqGap) {
+			writeError(w, http.StatusConflict, KindSeqGap, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, KindInternal, err)
+		return
+	}
+	v := n.h.View()
+	writeJSON(w, http.StatusOK, WriteResponse{Seq: seq, Pending: v.Pending(), Epoch: v.Version()})
+}
+
+// handleReconcile merges the pending delta into a fresh base store and
+// swaps the epoch, synchronously.
+func (n *Node) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, KindInternal, errors.New("POST required"))
+		return
+	}
+	if !n.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, KindOverload, errors.New("replica not loaded"))
+		return
+	}
+	v := n.h.Reconcile()
+	writeJSON(w, http.StatusOK, WriteResponse{Seq: v.Seq(), Pending: v.Pending(), Epoch: v.Version()})
+}
+
+func toRDFTriples(ts []Triple) []rdf.Triple {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]rdf.Triple, len(ts))
+	for i, t := range ts {
+		out[i] = rdf.Triple{S: t.S, P: t.P, O: t.O}
+	}
+	return out
 }
 
 func (n *Node) handleExec(w http.ResponseWriter, r *http.Request) {
@@ -303,11 +394,15 @@ func (n *Node) exec(ctx context.Context, req *ExecRequest) (*ExecResponse, error
 	if err != nil {
 		return nil, &parseError{err}
 	}
+	// Pin one epoch view for plan and execution: constants, plan and
+	// statistics must agree even while writes land concurrently.
+	v := n.h.View()
+	st := v.Store()
 	var x optimizer.Expander
 	if req.Entailment {
-		x = n.hierarchy()
+		x = n.hierarchy(v)
 	}
-	plan, err := optimizer.OptimizeExpanded(q, n.st, n.ss, x)
+	plan, err := optimizer.OptimizeExpanded(q, st, v.Stats(), x)
 	if err != nil {
 		return nil, &planError{err}
 	}
@@ -315,7 +410,7 @@ func (n *Node) exec(ctx context.Context, req *ExecRequest) (*ExecResponse, error
 		return nil, &planError{fmt.Errorf("invalid shard range [%d, %d) of %d", req.ShardFrom, req.ShardTo, req.TotalShards)}
 	}
 	strategy := core.Strategy(req.Strategy)
-	res, err := core.ExecuteShardRange(n.st, plan, core.Options{
+	res, err := core.ExecuteShardRange(st, plan, core.Options{
 		Threads:       req.TotalShards,
 		Strategy:      strategy,
 		Silent:        req.Silent,

@@ -40,8 +40,56 @@ const StatzPath = "/statz"
 // SnapshotPath streams the node's replica as a CRC-checked snapshot
 // (store format v2). A joining replica warms from a peer by loading this
 // stream; the trailing checksum means a connection cut mid-stream is
-// detected at load, never served.
+// detected at load, never served. The response carries WriteSeqHeader so a
+// warming replica knows which write batches the snapshot already contains.
 const SnapshotPath = "/snapshot"
+
+// WritePath applies one sequenced write batch (inserts and deletes) to the
+// node's live store. Batches must arrive in sequence order: a replay is
+// idempotent, a gap is refused with KindSeqGap so the coordinator knows the
+// replica must resync before it can serve again.
+const WritePath = "/write"
+
+// ReconcilePath forces a synchronous reconciliation: the node merges its
+// pending delta into a fresh base store and swaps the epoch.
+const ReconcilePath = "/reconcile"
+
+// WriteSeqHeader carries the last applied write-batch sequence number on
+// snapshot responses, so a replica warmed from the stream can resume the
+// write stream exactly where the snapshot left off.
+const WriteSeqHeader = "X-Parj-Write-Seq"
+
+// Triple is one term-string triple on the wire. Writes travel as raw terms
+// (not dictionary IDs): every replica encodes them against its own
+// dictionaries, and because batches apply in identical sequence order with
+// deletes before inserts, all replicas assign identical IDs.
+type Triple struct {
+	S string `json:"s"`
+	P string `json:"p"`
+	O string `json:"o"`
+}
+
+// WriteRequest applies one write batch. Deletes are applied before inserts
+// on every replica (the order that keeps dictionary growth deterministic:
+// deletes never touch the dictionaries, inserts grow them identically).
+type WriteRequest struct {
+	// Seq sequences the batch in the coordinator's write stream; 0 means
+	// "next" (the direct single-node path).
+	Seq     uint64   `json:"seq,omitempty"`
+	Inserts []Triple `json:"inserts,omitempty"`
+	Deletes []Triple `json:"deletes,omitempty"`
+}
+
+// WriteResponse reports the node's write-stream position after an applied
+// batch or a reconciliation.
+type WriteResponse struct {
+	// Seq is the node's last applied write-batch sequence number.
+	Seq uint64 `json:"seq"`
+	// Pending counts write verdicts not yet reconciled into the base.
+	Pending int `json:"pending"`
+	// Epoch is the node's store-view version after the operation.
+	Epoch uint64 `json:"epoch"`
+}
 
 // ExecRequest asks a node to evaluate a shard range of a query.
 type ExecRequest struct {
@@ -146,6 +194,15 @@ type StatzResponse struct {
 	Shedding bool `json:"shedding,omitempty"`
 	// Failures counts admitted /exec requests that returned an error.
 	Failures int64 `json:"failures"`
+	// WriteSeq is the last applied write-batch sequence number — the field a
+	// coordinator compares against its own stream position to decide whether
+	// a rejoining replica can be caught up by log replay.
+	WriteSeq uint64 `json:"write_seq"`
+	// PendingWrites counts write verdicts awaiting reconciliation.
+	PendingWrites int `json:"pending_writes"`
+	// Epoch is the store-view version (advances per write batch and per
+	// reconciliation).
+	Epoch uint64 `json:"epoch"`
 	// Sched sums scheduler activity across all served queries.
 	Sched SchedTotals `json:"sched"`
 }
@@ -162,6 +219,7 @@ const (
 	KindOverload = "overload" // node shedding load or not ready (HTTP 503)
 	KindPanic    = "panic"    // contained worker panic (HTTP 500)
 	KindInternal = "internal" // anything else (HTTP 500)
+	KindSeqGap   = "seq_gap"  // write batch skips ahead of the replica (HTTP 409)
 )
 
 // ErrorResponse is the JSON error body.

@@ -1,0 +1,49 @@
+package stats
+
+import "parj/internal/store"
+
+// NewDerived computes statistics for st, reusing work from prev where the
+// underlying tables are physically shared. The live write path merges a
+// delta into a new store in which untouched predicates alias the previous
+// store's slices (see store.ApplyDelta); their histograms are identical by
+// construction, so rebuilding them would only burn the reconciler's time.
+// Touched or new predicates get fresh histograms. Pair cardinalities are
+// not carried over: they join two tables, either of which may have changed,
+// and they are lazy anyway — only pairs queries actually touch are paid for
+// again.
+//
+// prev may be nil, in which case NewDerived is New.
+func NewDerived(st *store.Store, prev *Stats) *Stats {
+	if prev == nil {
+		return New(st)
+	}
+	s := &Stats{
+		st:        st,
+		keyHists:  make([]Histogram, 2*st.NumPredicates()),
+		pairCards: make(map[pairKey]float64),
+	}
+	for p := 1; p <= st.NumPredicates(); p++ {
+		so, os := st.SO(uint32(p)), st.OS(uint32(p))
+		if p <= prev.st.NumPredicates() && sameSlice(so.Keys, prev.st.SO(uint32(p)).Keys) {
+			s.keyHists[2*(p-1)] = prev.keyHists[2*(p-1)]
+		} else {
+			s.keyHists[2*(p-1)] = BuildHistogram(so.Keys, DefaultBuckets)
+		}
+		if p <= prev.st.NumPredicates() && sameSlice(os.Keys, prev.st.OS(uint32(p)).Keys) {
+			s.keyHists[2*(p-1)+1] = prev.keyHists[2*(p-1)+1]
+		} else {
+			s.keyHists[2*(p-1)+1] = BuildHistogram(os.Keys, DefaultBuckets)
+		}
+	}
+	return s
+}
+
+// sameSlice reports whether a and b are the same backing storage — equal
+// length and first-element address. Tables copied by value during a merge
+// share their slices; rebuilt tables never do.
+func sameSlice(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}

@@ -1,0 +1,379 @@
+package store
+
+import (
+	"parj/internal/posindex"
+	"parj/internal/search"
+)
+
+// delta.go — the pending-write overlay of the live write path.
+//
+// The CSR tables of a Store are immutable; writes therefore accumulate in a
+// Delta: per predicate, a sorted array of added (subject, object) pairs and
+// a sorted array of tombstoned pairs, packed subject-high exactly like the
+// Builder's buffers so they share the S-O sort order of the tables they
+// overlay. The effective relation of a view is
+//
+//	effective(p) = (base(p) ∖ dels(p)) ∪ adds(p)
+//
+// with the invariant adds(p) ∩ dels(p) = ∅: inserting a pair removes it
+// from the tombstones before recording the add, deleting removes it from
+// the adds before recording the tombstone. The invariant is what makes
+// delete-then-reinsert and duplicate inserts land on plain set semantics —
+// the last verdict per pair wins, independently of when a reconciliation
+// happens to freeze the delta.
+//
+// ApplyDelta materializes the effective store. Untouched predicates share
+// their table storage with the base (a struct copy of immutable slices);
+// touched predicates are rebuilt through the same buildCSR/finishTable path
+// the Builder uses, so a merged store is indistinguishable from one built
+// from the effective triples directly — which is exactly the property the
+// snapshot-under-writes tests pin.
+
+// Delta is a set-semantic batch of pending writes against a base Store.
+// The zero value is empty and ready to use. A Delta published inside a view
+// is frozen: mutation happens only on private clones (see Clone).
+type Delta struct {
+	// adds[p-1] and dels[p-1] hold the pending pairs of predicate ID p,
+	// packed uint64(s)<<32|uint64(o) and sorted ascending.
+	adds [][]uint64
+	dels [][]uint64
+	ops  int // verdicts recorded since the delta was last empty
+}
+
+// Empty reports whether the delta holds no pending pairs.
+func (d *Delta) Empty() bool {
+	if d == nil {
+		return true
+	}
+	for _, a := range d.adds {
+		if len(a) > 0 {
+			return false
+		}
+	}
+	for _, t := range d.dels {
+		if len(t) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Ops reports how many insert/delete verdicts were recorded — the pending
+// write volume reconciliation thresholds trigger on. It counts operations,
+// not net pairs, so a churn of inserts and deletes of the same pair still
+// advances it.
+func (d *Delta) Ops() int {
+	if d == nil {
+		return 0
+	}
+	return d.ops
+}
+
+// Counts reports the net pending pair counts (adds, tombstones).
+func (d *Delta) Counts() (adds, dels int) {
+	if d == nil {
+		return 0, 0
+	}
+	for _, a := range d.adds {
+		adds += len(a)
+	}
+	for _, t := range d.dels {
+		dels += len(t)
+	}
+	return adds, dels
+}
+
+// Clone returns a private deep copy that can be mutated without disturbing
+// views holding the receiver.
+func (d *Delta) Clone() *Delta {
+	nd := &Delta{}
+	if d == nil {
+		return nd
+	}
+	nd.ops = d.ops
+	nd.adds = make([][]uint64, len(d.adds))
+	for p, a := range d.adds {
+		nd.adds[p] = append([]uint64(nil), a...)
+	}
+	nd.dels = make([][]uint64, len(d.dels))
+	for p, t := range d.dels {
+		nd.dels[p] = append([]uint64(nil), t...)
+	}
+	return nd
+}
+
+// Insert records the verdict "pair (s,o) of predicate p exists".
+func (d *Delta) Insert(s, p, o uint32) {
+	pair := uint64(s)<<32 | uint64(o)
+	d.grow(p)
+	d.dels[p-1] = sortedRemove(d.dels[p-1], pair)
+	d.adds[p-1] = sortedInsert(d.adds[p-1], pair)
+	d.ops++
+}
+
+// Delete records the verdict "pair (s,o) of predicate p does not exist".
+func (d *Delta) Delete(s, p, o uint32) {
+	pair := uint64(s)<<32 | uint64(o)
+	d.grow(p)
+	d.adds[p-1] = sortedRemove(d.adds[p-1], pair)
+	d.dels[p-1] = sortedInsert(d.dels[p-1], pair)
+	d.ops++
+}
+
+// NumPredicates reports the predicate ID space the delta spans (it can
+// exceed the base store's when inserts introduced new predicates).
+func (d *Delta) NumPredicates() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.adds)
+}
+
+func (d *Delta) grow(p uint32) {
+	for int(p) > len(d.adds) {
+		d.adds = append(d.adds, nil)
+		d.dels = append(d.dels, nil)
+	}
+}
+
+// sortedInsert adds pair into sorted xs unless already present.
+func sortedInsert(xs []uint64, pair uint64) []uint64 {
+	i := searchPairs(xs, pair)
+	if i < len(xs) && xs[i] == pair {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = pair
+	return xs
+}
+
+// sortedRemove removes pair from sorted xs if present.
+func sortedRemove(xs []uint64, pair uint64) []uint64 {
+	i := searchPairs(xs, pair)
+	if i >= len(xs) || xs[i] != pair {
+		return xs
+	}
+	return append(xs[:i], xs[i+1:]...)
+}
+
+func searchPairs(xs []uint64, pair uint64) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < pair {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prune returns the residual delta of d against st: adds already present
+// in st are dropped, tombstones of pairs absent from st are dropped. After
+// a reconciliation promotes a merged store to the new base, the residual of
+// the (possibly advanced) current delta is exactly what must still overlay
+// it — in particular, a pair deleted and reinserted across the freeze does
+// not resurrect, and a pair inserted twice does not double. The residual's
+// op counter is reset to its net pair count so reconcile thresholds re-arm.
+func (d *Delta) Prune(st *Store) *Delta {
+	nd := &Delta{}
+	if d == nil {
+		return nd
+	}
+	for p := range d.adds {
+		pred := uint32(p + 1)
+		var adds, dels []uint64
+		for _, pair := range d.adds[p] {
+			if !st.HasTriple(uint32(pair>>32), pred, uint32(pair)) {
+				adds = append(adds, pair)
+			}
+		}
+		for _, pair := range d.dels[p] {
+			if st.HasTriple(uint32(pair>>32), pred, uint32(pair)) {
+				dels = append(dels, pair)
+			}
+		}
+		if adds != nil || dels != nil {
+			nd.grow(uint32(len(d.adds)))
+			nd.adds[p], nd.dels[p] = adds, dels
+			nd.ops += len(adds) + len(dels)
+		}
+	}
+	return nd
+}
+
+// HasTriple reports whether the store contains the encoded triple — a
+// binary search over the predicate's S-O replica. Used by reconciliation to
+// prune a residual delta against a freshly merged base.
+func (s *Store) HasTriple(sub, pred, obj uint32) bool {
+	if pred == 0 || int(pred) > len(s.so) {
+		return false
+	}
+	t := &s.so[pred-1]
+	pos, ok := t.LookupKey(sub)
+	if !ok {
+		return false
+	}
+	run := t.Run(pos)
+	i := searchU32(run, obj)
+	return i < len(run) && run[i] == obj
+}
+
+func searchU32(xs []uint32, v uint32) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// InferBuildOptions derives the BuildOptions a merge must use so that
+// rebuilt tables match the base store's physical shape: stores built with
+// ID-to-Position indexes keep them across merges.
+func InferBuildOptions(s *Store) BuildOptions {
+	opts := BuildOptions{}
+	for i := range s.so {
+		if s.so[i].Index != nil {
+			opts.BuildPosIndex = true
+			break
+		}
+	}
+	return opts
+}
+
+// ApplyDelta materializes the effective store base ∖ dels ∪ adds. Untouched
+// predicate tables are shared with the base by struct copy (the immutable
+// slices alias — zero build cost and zero extra memory); touched predicates
+// are rebuilt through the Builder's CSR path. The dictionaries are shared
+// with the base: delta pairs were encoded against them, and they are
+// append-only. The result is as immutable as any built Store.
+func ApplyDelta(base *Store, d *Delta, opts BuildOptions) *Store {
+	nPred := base.NumPredicates()
+	if n := d.NumPredicates(); n > nPred {
+		nPred = n
+	}
+	st := &Store{
+		Resources:  base.Resources,
+		Predicates: base.Predicates,
+		so:         make([]Table, nPred),
+		os:         make([]Table, nPred),
+		directory:  make([]uint32, 2*nPred),
+	}
+	binaryWindow := opts.BinaryWindow
+	if binaryWindow == 0 {
+		binaryWindow = search.DefaultBinaryWindow
+	}
+	indexWindow := opts.IndexWindow
+	if indexWindow == 0 {
+		indexWindow = search.DefaultIndexWindow
+	}
+	maxID := base.Resources.MaxID()
+	for p := 0; p < nPred; p++ {
+		var adds, dels []uint64
+		if p < len(d.adds) {
+			adds, dels = d.adds[p], d.dels[p]
+		}
+		if len(adds) == 0 && len(dels) == 0 && p < base.NumPredicates() {
+			// Untouched: share the base tables.
+			st.so[p] = base.so[p]
+			st.os[p] = base.os[p]
+			st.directory[2*p] = base.directory[2*p]
+			st.directory[2*p+1] = base.directory[2*p+1]
+			continue
+		}
+		var basePairs []uint64
+		if p < base.NumPredicates() {
+			basePairs = tablePairs(&base.so[p])
+		}
+		pairs := mergePairs(basePairs, adds, dels)
+		st.so[p] = buildCSR(pairs)
+		for i, pr := range pairs {
+			pairs[i] = pr<<32 | pr>>32
+		}
+		sortPairs(pairs)
+		st.os[p] = buildCSR(pairs)
+		for _, t := range []*Table{&st.so[p], &st.os[p]} {
+			finishTable(t, opts, maxID, binaryWindow, indexWindow)
+		}
+		st.directory[2*p] = uint32(len(st.so[p].Keys))
+		st.directory[2*p+1] = uint32(len(st.os[p].Keys))
+	}
+	// Serial pass mirroring Build: triple count and disjoint simulated base
+	// addresses (recomputed for every table — the copies are by value, so
+	// the base store's own addresses are untouched).
+	var baseAddr uint64 = 1 << 20
+	for p := range st.so {
+		st.numTriples += st.so[p].NumTriples()
+		for _, t := range []*Table{&st.so[p], &st.os[p]} {
+			t.KeysBase = baseAddr
+			baseAddr += uint64(len(t.Keys))*4 + 4096
+			t.ValsBase = baseAddr
+			baseAddr += uint64(len(t.Vals))*4 + 4096
+			if t.Index != nil {
+				t.IndexBases = posindex.Bases{Words: baseAddr, Anchors: baseAddr + uint64(t.Index.Bytes())}
+				baseAddr += uint64(t.Index.Bytes())*2 + 4096
+			}
+		}
+	}
+	return st
+}
+
+// tablePairs flattens an S-O table back into sorted packed pairs.
+func tablePairs(t *Table) []uint64 {
+	pairs := make([]uint64, 0, t.NumTriples())
+	for i, k := range t.Keys {
+		hi := uint64(k) << 32
+		for _, o := range t.Run(i) {
+			pairs = append(pairs, hi|uint64(o))
+		}
+	}
+	return pairs
+}
+
+// mergePairs computes (base ∖ dels) ∪ adds in one linear pass. All three
+// inputs are sorted ascending; the result is sorted and duplicate-free
+// (adds may contain pairs already present in base).
+func mergePairs(base, adds, dels []uint64) []uint64 {
+	out := make([]uint64, 0, len(base)+len(adds))
+	i, j, k := 0, 0, 0
+	for i < len(base) || j < len(adds) {
+		var next uint64
+		var fromBase bool
+		switch {
+		case i >= len(base):
+			next, fromBase = adds[j], false
+		case j >= len(adds):
+			next, fromBase = base[i], true
+		case base[i] < adds[j]:
+			next, fromBase = base[i], true
+		case base[i] > adds[j]:
+			next, fromBase = adds[j], false
+		default: // equal: consume both, keep one (adds wins over any del)
+			next = adds[j]
+			i++
+			j++
+			out = append(out, next)
+			continue
+		}
+		if fromBase {
+			i++
+			for k < len(dels) && dels[k] < next {
+				k++
+			}
+			if k < len(dels) && dels[k] == next {
+				continue // tombstoned
+			}
+		} else {
+			j++
+		}
+		out = append(out, next)
+	}
+	return out
+}

@@ -313,11 +313,22 @@ func readU32Slice(r io.Reader) ([]uint32, error) {
 }
 
 func writeDict(w io.Writer, d *dict.Dict) error {
-	if err := writeU32(w, uint32(d.Len())); err != nil {
+	// One consistent (length, contents) snapshot: a concurrent Encode must
+	// not let the recorded count and the written lines disagree.
+	strings := d.SnapshotStrings()
+	if err := writeU32(w, uint32(len(strings))); err != nil {
 		return err
 	}
-	_, err := d.WriteTo(w)
-	return err
+	bw := bufio.NewWriter(w)
+	for _, s := range strings {
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 func readDict(r *snapReader, d *dict.Dict) error {

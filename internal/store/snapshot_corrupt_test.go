@@ -88,6 +88,7 @@ func FuzzLoadSnapshot(f *testing.F) {
 	plain := validSnapshot(f, false)
 	f.Add(valid)
 	f.Add(plain)
+	f.Add(deltaSnapshot(f, true)) // snapshot taken with unreconciled deltas merged in
 	f.Add(valid[:len(valid)/2])      // truncation
 	f.Add(valid[:len(valid)-3])      // truncated checksum
 	flipped := bytes.Clone(valid)

@@ -34,6 +34,7 @@ import (
 
 	"parj/internal/core"
 	"parj/internal/governance"
+	"parj/internal/live"
 	"parj/internal/optimizer"
 	"parj/internal/rdf"
 	"parj/internal/rdfs"
@@ -159,6 +160,11 @@ type DBOptions struct {
 	// exhaustion. The query that would tip the store over fails with
 	// ErrBudgetExceeded. 0 = unlimited.
 	SharedMemoryBudget int64
+	// AutoReconcileOps arms the background reconciler: once at least this
+	// many write verdicts are pending, a goroutine merges them into fresh
+	// base tables and swaps the epoch. 0 leaves reconciliation to explicit
+	// Reconcile calls — the deterministic mode tests use.
+	AutoReconcileOps int
 }
 
 func (o LoadOptions) buildOptions() store.BuildOptions {
@@ -259,11 +265,15 @@ type admitController interface {
 	InFlight() int
 }
 
-// Store is an immutable, fully in-memory RDF database. It is safe for
-// concurrent queries.
+// Store is a fully in-memory RDF database, safe for concurrent queries and
+// — since the live write path — concurrent Insert/Delete. Reads run on
+// immutable epoch views: each query pins the view current at admission and
+// sees a consistent base-plus-delta state for its whole lifetime, while
+// writes publish new views and a reconciler folds accumulated deltas into
+// fresh base tables. With no writes pending, the read path is exactly the
+// original immutable engine plus one atomic load.
 type Store struct {
-	st    *store.Store
-	stats *stats.Stats
+	live *live.Handle
 
 	// limiter implements DB-level admission control; a typed-nil value
 	// admits everything. adaptive aliases it when the CoDel controller is
@@ -273,8 +283,11 @@ type Store struct {
 	// memPool is the store-wide shared memory budget; nil = unlimited.
 	memPool *governance.Pool
 
-	hierOnce sync.Once
-	hier     *rdfs.Hierarchy
+	// hier caches the RDFS closures per epoch: entailment queries against a
+	// mutated store must see hierarchies derived from their own view.
+	hierMu  sync.Mutex
+	hierVer uint64
+	hier    *rdfs.Hierarchy
 }
 
 // SetDBOptions (re)configures store-wide governance. It must not be called
@@ -298,6 +311,7 @@ func (s *Store) applyDB(opts DBOptions) {
 		s.limiter = governance.NewLimiter(opts.MaxConcurrentQueries, opts.AdmissionWait)
 	}
 	s.memPool = governance.NewPool(opts.SharedMemoryBudget)
+	s.live.SetAutoReconcile(opts.AutoReconcileOps)
 }
 
 // InFlightQueries reports how many queries are currently admitted (always 0
@@ -351,11 +365,14 @@ func (s *Store) admit(ctx context.Context) (release func(), err error) {
 	return s.limiter.Release, nil
 }
 
-// hierarchy lazily computes the RDFS closures on first entailment query.
-func (s *Store) hierarchy() *rdfs.Hierarchy {
-	s.hierOnce.Do(func() {
-		s.hier = rdfs.New(s.st, "", "", "")
-	})
+// hierarchy computes (and caches per epoch) the RDFS closures for v.
+func (s *Store) hierarchy(v *live.View) *rdfs.Hierarchy {
+	s.hierMu.Lock()
+	defer s.hierMu.Unlock()
+	if s.hier == nil || s.hierVer != v.Version() {
+		s.hier = rdfs.New(v.Store(), "", "", "")
+		s.hierVer = v.Version()
+	}
 	return s.hier
 }
 
@@ -379,8 +396,9 @@ func (b *Builder) Add(subject, predicate, object string) {
 // Build freezes the builder into a Store. The Builder must not be used
 // afterwards.
 func (b *Builder) Build() *Store {
-	st := b.b.Build(b.opts.buildOptions())
-	s := &Store{st: st, stats: stats.New(st)}
+	bo := b.opts.buildOptions()
+	st := b.b.Build(bo)
+	s := &Store{live: live.New(st, stats.New(st), bo)}
 	s.applyDB(b.opts.DB)
 	return s
 }
@@ -418,8 +436,11 @@ func LoadFile(path string, opts LoadOptions) (*Store, error) {
 
 // SaveSnapshot writes a binary snapshot of the store that LoadSnapshot can
 // reload without re-parsing or re-sorting — the role the paper's SQLite
-// backing store played for its prototype.
-func (s *Store) SaveSnapshot(w io.Writer) error { return s.st.Save(w) }
+// backing store played for its prototype. The snapshot captures the
+// current epoch's effective state: pending unreconciled writes are merged
+// into the stream, so a snapshot taken mid-churn loads identically to one
+// taken after the next reconcile.
+func (s *Store) SaveSnapshot(w io.Writer) error { return s.live.View().Store().Save(w) }
 
 // SaveSnapshotFile writes the snapshot to a file.
 func (s *Store) SaveSnapshotFile(path string) error {
@@ -427,7 +448,7 @@ func (s *Store) SaveSnapshotFile(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := s.st.Save(f); err != nil {
+	if err := s.SaveSnapshot(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -440,7 +461,7 @@ func LoadSnapshot(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{st: st, stats: stats.New(st)}
+	s := &Store{live: live.New(st, stats.New(st), store.InferBuildOptions(st))}
 	s.applyDB(DBOptions{})
 	return s, nil
 }
@@ -455,18 +476,69 @@ func LoadSnapshotFile(path string) (*Store, error) {
 	return LoadSnapshot(f)
 }
 
-// NumTriples reports the number of distinct triples stored.
-func (s *Store) NumTriples() int { return s.st.NumTriples() }
+// NumTriples reports the number of distinct triples stored. While writes
+// are pending it is a fast estimate (base plus net delta) so health checks
+// never force a merge; after a reconcile it is exact.
+func (s *Store) NumTriples() int { return s.live.View().ApproxTriples() }
 
 // NumPredicates reports the number of distinct predicates.
-func (s *Store) NumPredicates() int { return s.st.NumPredicates() }
+func (s *Store) NumPredicates() int { return s.live.View().Base().NumPredicates() }
 
 // NumResources reports the number of distinct subjects/objects.
-func (s *Store) NumResources() int { return s.st.Resources.Len() }
+func (s *Store) NumResources() int { return s.live.View().Base().Resources.Len() }
 
 // MemoryBytes reports the table payload size in bytes (dictionaries
 // excluded), the figure the paper quotes for storage compactness.
-func (s *Store) MemoryBytes() int { return s.st.Bytes() }
+func (s *Store) MemoryBytes() int { return s.live.View().Base().Bytes() }
+
+// Triple is one RDF statement in N-Triples term syntax (IRIs in angle
+// brackets, literals quoted) — the unit of the live write path.
+type Triple struct {
+	S, P, O string
+}
+
+// Insert adds triples to the live store while queries run. Duplicates of
+// already-stored triples are no-ops (RDF graphs are sets). The write lands
+// in the current epoch's delta overlay; queries admitted afterwards see it
+// immediately, queries already running keep their pinned epoch. Returns
+// the write-batch sequence number.
+func (s *Store) Insert(triples []Triple) uint64 {
+	return s.live.Insert(toRDF(triples))
+}
+
+// Delete removes triples from the live store while queries run. Deleting
+// an absent triple is a no-op. Same epoch semantics as Insert.
+func (s *Store) Delete(triples []Triple) uint64 {
+	return s.live.Delete(toRDF(triples))
+}
+
+// Reconcile synchronously merges all pending write deltas into fresh base
+// tables and swaps the epoch. Queries in flight keep their views; writes
+// landing during the merge stay pending into the next epoch. After
+// Reconcile (with no further writes), reads are overlay-free again.
+func (s *Store) Reconcile() { s.live.Reconcile() }
+
+// PendingWrites reports the write verdicts not yet reconciled.
+func (s *Store) PendingWrites() int { return s.live.Pending() }
+
+// WriteSeq reports the sequence number of the last applied write batch.
+func (s *Store) WriteSeq() uint64 { return s.live.Seq() }
+
+// Epoch reports the current view version; it advances on every write batch
+// and every reconcile.
+func (s *Store) Epoch() uint64 { return s.live.View().Version() }
+
+// Quiesce blocks until any background reconciliation (DBOptions.
+// AutoReconcileOps) has finished. Stop writing before calling it.
+func (s *Store) Quiesce() { s.live.Quiesce() }
+
+func toRDF(triples []Triple) []rdf.Triple {
+	out := make([]rdf.Triple, len(triples))
+	for i, t := range triples {
+		out[i] = rdf.Triple(t)
+	}
+	return out
+}
 
 // PredicateInfo describes one predicate's tables.
 type PredicateInfo struct {
@@ -477,15 +549,17 @@ type PredicateInfo struct {
 }
 
 // PredicateInfos lists every predicate with its table statistics (the
-// paper's 2×#properties directory, §3, decoded for humans).
+// paper's 2×#properties directory, §3, decoded for humans). Pending writes
+// are merged into the reported numbers.
 func (s *Store) PredicateInfos() []PredicateInfo {
-	out := make([]PredicateInfo, s.st.NumPredicates())
-	for p := 1; p <= s.st.NumPredicates(); p++ {
+	st := s.live.View().Store()
+	out := make([]PredicateInfo, st.NumPredicates())
+	for p := 1; p <= st.NumPredicates(); p++ {
 		out[p-1] = PredicateInfo{
-			IRI:              s.st.Predicates.Decode(uint32(p)),
-			Triples:          s.st.SO(uint32(p)).NumTriples(),
-			DistinctSubjects: s.st.SO(uint32(p)).NumKeys(),
-			DistinctObjects:  s.st.OS(uint32(p)).NumKeys(),
+			IRI:              st.Predicates.Decode(uint32(p)),
+			Triples:          st.SO(uint32(p)).NumTriples(),
+			DistinctSubjects: st.SO(uint32(p)).NumKeys(),
+			DistinctObjects:  st.OS(uint32(p)).NumKeys(),
 		}
 	}
 	return out
@@ -513,11 +587,16 @@ func (s *Store) Query(src string, opts QueryOptions) (*Results, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parj: %w", err)
 	}
+	// Pin one epoch view for planning AND execution: constants resolved
+	// against its dictionary-visible state, statistics, and the executed
+	// tables all agree, however many writes land meanwhile.
+	v := s.live.View()
+	st := v.Store()
 	var x optimizer.Expander
 	if opts.Entailment {
-		x = s.hierarchy()
+		x = s.hierarchy(v)
 	}
-	plan, err := optimizer.OptimizeExpanded(q, s.st, s.stats, x)
+	plan, err := optimizer.OptimizeExpanded(q, st, v.Stats(), x)
 	if err != nil {
 		return nil, fmt.Errorf("parj: %w", err)
 	}
@@ -531,7 +610,7 @@ func (s *Store) Query(src string, opts QueryOptions) (*Results, error) {
 		plan.Limit = 0
 		execOpts.Silent = false
 	}
-	res, err := core.Execute(s.st, plan, execOpts)
+	res, err := core.Execute(st, plan, execOpts)
 	if err != nil {
 		if res != nil {
 			return &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats},
@@ -542,12 +621,12 @@ func (s *Store) Query(src string, opts QueryOptions) (*Results, error) {
 	out := &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats}
 	if !post {
 		if !opts.Silent {
-			out.Rows = res.StringRows(s.st)
+			out.Rows = res.StringRows(st)
 		}
 		return out, nil
 	}
 
-	rows := res.StringRows(s.st)
+	rows := res.StringRows(st)
 	if len(q.OrderBy) > 0 {
 		cols := make([]int, len(q.OrderBy))
 		for i, k := range q.OrderBy {
@@ -604,18 +683,20 @@ func (s *Store) QueryStream(src string, opts QueryOptions, fn func(row []string)
 	}
 	defer release()
 
-	plan, err := s.plan(src, opts.Entailment)
+	v := s.live.View()
+	st := v.Store()
+	plan, err := s.planView(v, src, opts.Entailment)
 	if err != nil {
 		return 0, err
 	}
-	n, err := core.ExecuteStream(s.st, plan, opts.execOptions(ctx, plan, s.memPool), func(row []uint32) bool {
+	n, err := core.ExecuteStream(st, plan, opts.execOptions(ctx, plan, s.memPool), func(row []uint32) bool {
 		dec := make([]string, len(row))
 		for i, id := range row {
 			slot := plan.Project[i]
 			if plan.SlotIsPred[slot] {
-				dec[i] = s.st.Predicates.Decode(id)
+				dec[i] = st.Predicates.Decode(id)
 			} else {
-				dec[i] = s.st.Resources.Decode(id)
+				dec[i] = st.Resources.Decode(id)
 			}
 		}
 		return fn(dec)
@@ -629,20 +710,46 @@ func (s *Store) QueryStream(src string, opts QueryOptions, fn func(row []string)
 // Prepared is a parsed and optimized query, reusable across executions.
 // The paper observes that for fast star queries (WatDiv S1) planning
 // dominates the total time; preparing once removes that cost from repeated
-// executions. Prepared queries are immutable and safe for concurrent use.
+// executions. Prepared queries are safe for concurrent use. A prepared
+// plan is bound to the epoch it was optimized on; when writes move the
+// epoch, the next execution transparently replans (constants resolved
+// against the old view — or its emptiness proof — may not hold on the new
+// one).
 type Prepared struct {
-	s    *Store
-	plan *optimizer.Plan
+	s      *Store
+	src    string
+	entail bool
+
+	mu      sync.Mutex
+	version uint64
+	plan    *optimizer.Plan
+	st      *store.Store // the view's store the plan was optimized against
 }
 
 // Prepare parses and optimizes src once. Entailment selects
 // hierarchy-aware planning, as in QueryOptions.
 func (s *Store) Prepare(src string, entailment bool) (*Prepared, error) {
-	plan, err := s.plan(src, entailment)
-	if err != nil {
+	p := &Prepared{s: s, src: src, entail: entailment}
+	if _, _, err := p.current(); err != nil {
 		return nil, err
 	}
-	return &Prepared{s: s, plan: plan}, nil
+	return p, nil
+}
+
+// current returns a (plan, store) pair consistent with the live epoch,
+// replanning if writes moved it since the last execution.
+func (p *Prepared) current() (*optimizer.Plan, *store.Store, error) {
+	v := p.s.live.View()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.plan == nil || p.version != v.Version() {
+		plan, err := p.s.planView(v, p.src, p.entail)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.plan, p.st, p.version = plan, v.Store(), v.Version()
+	}
+	return p.plan, p.st, nil
 }
 
 // Query executes the prepared plan under the same governance semantics as
@@ -656,7 +763,11 @@ func (p *Prepared) Query(opts QueryOptions) (*Results, error) {
 	}
 	defer release()
 
-	res, err := core.Execute(p.s.st, p.plan, opts.execOptions(ctx, p.plan, p.s.memPool))
+	plan, st, err := p.current()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Execute(st, plan, opts.execOptions(ctx, plan, p.s.memPool))
 	if err != nil {
 		if res != nil {
 			return &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats},
@@ -666,7 +777,7 @@ func (p *Prepared) Query(opts QueryOptions) (*Results, error) {
 	}
 	out := &Results{Vars: res.Vars, Count: res.Count, ProbeStats: res.Stats}
 	if !opts.Silent {
-		out.Rows = res.StringRows(p.s.st)
+		out.Rows = res.StringRows(st)
 	}
 	return out, nil
 }
@@ -681,8 +792,14 @@ func (p *Prepared) Count(opts QueryOptions) (int64, error) {
 	return res.Count, nil
 }
 
-// Explain describes the prepared plan.
-func (p *Prepared) Explain() string { return p.plan.Explain() }
+// Explain describes the prepared plan (replanned if the epoch moved).
+func (p *Prepared) Explain() string {
+	plan, _, err := p.current()
+	if err != nil {
+		return "prepared plan invalid on current epoch: " + err.Error()
+	}
+	return plan.Explain()
+}
 
 // Count executes src in silent mode and returns only the result count.
 func (s *Store) Count(src string, opts QueryOptions) (int64, error) {
@@ -704,15 +821,20 @@ func (s *Store) Explain(src string) (string, error) {
 }
 
 func (s *Store) plan(src string, entail bool) (*optimizer.Plan, error) {
+	return s.planView(s.live.View(), src, entail)
+}
+
+// planView optimizes src against one pinned epoch view.
+func (s *Store) planView(v *live.View, src string, entail bool) (*optimizer.Plan, error) {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("parj: %w", err)
 	}
 	var x optimizer.Expander
 	if entail {
-		x = s.hierarchy()
+		x = s.hierarchy(v)
 	}
-	plan, err := optimizer.OptimizeExpanded(q, s.st, s.stats, x)
+	plan, err := optimizer.OptimizeExpanded(q, v.Store(), v.Stats(), x)
 	if err != nil {
 		return nil, fmt.Errorf("parj: %w", err)
 	}
