@@ -47,9 +47,11 @@ import (
 	"syscall"
 	"time"
 
+	"parj/internal/live"
 	"parj/internal/rdf"
 	"parj/internal/remote"
 	"parj/internal/store"
+	"parj/internal/wal"
 )
 
 func main() {
@@ -65,11 +67,30 @@ func main() {
 		admissionIntv = flag.Duration("admission-interval", 0, "adaptive controller window (0 = default)")
 		drainTimeout  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain limit")
 		reconcileOps  = flag.Int("reconcile-ops", 4096, "pending write verdicts that trigger background reconciliation (0 = only on explicit /reconcile)")
+		walDir        = flag.String("wal", "", "write-ahead-log directory; makes the replica durable (recovers on start, journals every write)")
+		walSync       = flag.String("wal-sync", "always", "WAL fsync policy: always (group commit), interval, never")
+		walSyncIntv   = flag.Duration("wal-sync-interval", 50*time.Millisecond, "flush period under -wal-sync=interval")
+		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment size before rotation (0 = default 4 MiB)")
+		ckptOps       = flag.Int("checkpoint-ops", 4096, "write batches between automatic checkpoints (0 = never checkpoint automatically)")
+		ckptIntv      = flag.Duration("checkpoint-interval", time.Minute, "how often the checkpoint loop looks at the write position")
 	)
 	flag.Parse()
-	if (*dataPath == "") == (*warmFrom == "") {
-		fmt.Fprintln(os.Stderr, "parj-node: exactly one of -data or -warm-from is required")
+	if *walDir == "" {
+		if (*dataPath == "") == (*warmFrom == "") {
+			fmt.Fprintln(os.Stderr, "parj-node: exactly one of -data or -warm-from is required")
+			flag.Usage()
+			os.Exit(2)
+		}
+	} else if *dataPath != "" && *warmFrom != "" {
+		// A durable node can also start bare: recovery alone rebuilds the
+		// replica from its own WAL directory.
+		fmt.Fprintln(os.Stderr, "parj-node: -data and -warm-from are mutually exclusive")
 		flag.Usage()
+		os.Exit(2)
+	}
+	syncPolicy, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parj-node:", err)
 		os.Exit(2)
 	}
 
@@ -91,33 +112,90 @@ func main() {
 	go func() { serveErr <- srv.ListenAndServe() }()
 
 	start := time.Now()
-	var st *store.Store
-	var seq uint64
-	var err error
-	if *warmFrom != "" {
-		st, seq, err = warmFromPeers(strings.Split(*warmFrom, ","), *warmTimeout)
+	bo := store.BuildOptions{BuildPosIndex: !*noIndex}
+	// seed supplies the base state when there is no WAL (the volatile path)
+	// or the WAL directory is empty (a durable node's first boot). A
+	// snapshot warmed from a peer embeds that peer's write-stream position:
+	// the node resumes the stream there, so the coordinator's resync
+	// replays exactly the batches the snapshot does not contain.
+	seed := func() (*store.Store, uint64, error) {
+		switch {
+		case *warmFrom != "":
+			return warmFromPeers(strings.Split(*warmFrom, ","), *warmTimeout)
+		case *dataPath != "":
+			st, err := loadStore(*dataPath, !*noIndex)
+			return st, 0, err
+		default:
+			return store.LoadTriples(nil, bo), 0, nil
+		}
+	}
+	var h *live.Handle
+	var wlog *wal.Log
+	if *walDir != "" {
+		wlog, err = wal.Open(wal.Options{
+			Dir:          *walDir,
+			Sync:         syncPolicy,
+			Interval:     *walSyncIntv,
+			SegmentBytes: *walSegBytes,
+		})
+		if err == nil {
+			// Recovery: newest loadable checkpoint plus the log suffix. The
+			// seed runs only when the directory holds no prior state — a
+			// restarted replica rebuilds itself without touching -data or
+			// its peers, then the coordinator resyncs just the missing tail.
+			h, err = live.OpenDurable(wlog, seed, bo)
+		}
 	} else {
-		st, err = loadStore(*dataPath, !*noIndex)
+		var st *store.Store
+		var seq uint64
+		st, seq, err = seed()
+		if err == nil {
+			h = live.New(st, nil, store.InferBuildOptions(st))
+			h.SeedSeq(seq)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parj-node: load:", err)
 		srv.Close()
 		os.Exit(1)
 	}
-	node := remote.NewNode(st, nil, remote.NodeOptions{
+	node := remote.NewNodeHandle(h, remote.NodeOptions{
 		MaxConcurrent:     *maxConcurrent,
 		AdmissionWait:     *admissionWait,
 		AdmissionTarget:   *admissionTgt,
 		AdmissionInterval: *admissionIntv,
 		AutoReconcileOps:  *reconcileOps,
 	})
-	// A snapshot warmed from a peer embeds that peer's write-stream
-	// position: resume the stream there, so the coordinator's resync
-	// replays exactly the batches the snapshot does not contain.
-	node.Live().SeedSeq(seq)
 	nodePtr.Store(node)
-	fmt.Fprintf(os.Stderr, "replica loaded: %d triples in %v; serving on %s\n",
-		st.NumTriples(), time.Since(start).Round(time.Millisecond), *addr)
+	v := h.View()
+	fmt.Fprintf(os.Stderr, "replica loaded: %d triples at write seq %d in %v; serving on %s\n",
+		v.ApproxTriples(), v.Seq(), time.Since(start).Round(time.Millisecond), *addr)
+
+	// The checkpoint loop bounds replay time: once enough write batches
+	// accumulate past the newest checkpoint, the current view is published
+	// as a snapshot and the covered WAL segments are pruned.
+	ckptStop := make(chan struct{})
+	var ckptDone chan struct{}
+	if wlog != nil && *ckptOps > 0 {
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			t := time.NewTicker(*ckptIntv)
+			defer t.Stop()
+			for {
+				select {
+				case <-ckptStop:
+					return
+				case <-t.C:
+					if h.Seq() >= wlog.Stats().CheckpointSeq+uint64(*ckptOps) {
+						if err := live.Checkpoint(h, wlog); err != nil {
+							fmt.Fprintln(os.Stderr, "parj-node: checkpoint:", err)
+						}
+					}
+				}
+			}
+		}()
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -131,6 +209,16 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			srv.Close()
+		}
+		if ckptDone != nil {
+			close(ckptStop)
+			<-ckptDone
+		}
+		h.Quiesce()
+		if wlog != nil {
+			if err := wlog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "parj-node: wal close:", err)
+			}
 		}
 	}()
 

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"parj"
+	"parj/internal/rdf"
 )
 
 func main() {
@@ -61,11 +62,23 @@ func main() {
 		sharedBudget  = flag.Int64("shared-memory-budget", 0, "materialized-result byte budget shared across ALL concurrent queries (0 = unlimited)")
 		drainTimeout  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain limit")
 		reconcileOps  = flag.Int("reconcile-ops", 4096, "pending write verdicts that trigger background reconciliation (0 = only on explicit /reconcile)")
+		walDir        = flag.String("wal", "", "write-ahead-log directory; makes the store durable (recovers on start, journals every write)")
+		walSync       = flag.String("wal-sync", "always", "WAL fsync policy: always (group commit), interval, never")
+		walSyncIntv   = flag.Duration("wal-sync-interval", 50*time.Millisecond, "flush period under -wal-sync=interval")
+		ckptOps       = flag.Int("checkpoint-ops", 4096, "write batches between automatic checkpoints (0 = never checkpoint automatically)")
+		ckptIntv      = flag.Duration("checkpoint-interval", time.Minute, "how often the checkpoint loop looks at the write position")
 	)
 	flag.Parse()
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "parj-server: -data is required")
+	// A durable server can start bare: recovery rebuilds the store from its
+	// own WAL directory, -data only seeds the very first boot.
+	if *dataPath == "" && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "parj-server: -data is required (or -wal for a durable store)")
 		flag.Usage()
+		os.Exit(2)
+	}
+	syncPolicy, err := parj.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parj-server:", err)
 		os.Exit(2)
 	}
 
@@ -87,7 +100,7 @@ func main() {
 	go func() { serveErr <- srv.ListenAndServe() }()
 
 	start := time.Now()
-	db, err := parj.LoadFile(*dataPath, parj.LoadOptions{
+	loadOpts := parj.LoadOptions{
 		PosIndex: !*noIndex,
 		DB: parj.DBOptions{
 			MaxConcurrentQueries: *maxConcurrent,
@@ -97,7 +110,22 @@ func main() {
 			SharedMemoryBudget:   *sharedBudget,
 			AutoReconcileOps:     *reconcileOps,
 		},
-	})
+	}
+	var db *parj.Store
+	if *walDir != "" {
+		loadOpts.DB.Durability = parj.Durability{
+			Dir:          *walDir,
+			Sync:         syncPolicy,
+			SyncInterval: *walSyncIntv,
+		}
+		var seed func() ([]parj.Triple, error)
+		if *dataPath != "" {
+			seed = func() ([]parj.Triple, error) { return readNTriples(*dataPath) }
+		}
+		db, err = parj.Open(loadOpts, seed)
+	} else {
+		db, err = parj.LoadFile(*dataPath, loadOpts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parj-server: load:", err)
 		srv.Close()
@@ -106,6 +134,33 @@ func main() {
 	state.setStore(db)
 	fmt.Fprintf(os.Stderr, "loaded %d triples in %v; serving on %s\n",
 		db.NumTriples(), time.Since(start).Round(time.Millisecond), *addr)
+
+	// The checkpoint loop bounds recovery time: once enough write batches
+	// accumulate past the newest checkpoint, the current view is snapshotted
+	// and the covered WAL segments pruned.
+	ckptStop := make(chan struct{})
+	var ckptDone chan struct{}
+	if *walDir != "" && *ckptOps > 0 {
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			t := time.NewTicker(*ckptIntv)
+			defer t.Stop()
+			for {
+				select {
+				case <-ckptStop:
+					return
+				case <-t.C:
+					d := db.DurabilityStats()
+					if db.WriteSeq() >= d.CheckpointSeq+uint64(*ckptOps) {
+						if err := db.Checkpoint(); err != nil {
+							fmt.Fprintln(os.Stderr, "parj-server: checkpoint:", err)
+						}
+					}
+				}
+			}
+		}()
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -121,6 +176,13 @@ func main() {
 			// Drain limit hit: sever the remaining connections; their
 			// request contexts cancel the still-running queries.
 			srv.Close()
+		}
+		if ckptDone != nil {
+			close(ckptStop)
+			<-ckptDone
+		}
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "parj-server: close:", err)
 		}
 	}()
 
@@ -232,12 +294,14 @@ func newStateHandler(state *serverState, base parj.QueryOptions) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding write: %w", err))
 			return
 		}
-		// Deletes before inserts — the batch order of the write path.
-		if len(req.Deletes) > 0 {
-			db.Delete(req.Deletes)
-		}
-		if len(req.Inserts) > 0 {
-			db.Insert(req.Inserts)
+		// One batch, deletes before inserts — the batch order of the write
+		// path. On a durable store Write returns only once the WAL's sync
+		// policy acknowledged the batch; a failure after a non-zero
+		// sequence means durability is unknown and the client must treat
+		// the write as lost.
+		if _, err := db.Write(req.Inserts, req.Deletes); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(writeResponse{
@@ -303,12 +367,42 @@ func newStateHandler(state *serverState, base parj.QueryOptions) http.Handler {
 			body["shedding"] = a.Shedding
 			body["pool_used"] = a.PoolUsed
 			body["pool_capacity"] = a.PoolCapacity
+			body["write_seq"] = db.WriteSeq()
+			if d := db.DurabilityStats(); d.Enabled {
+				body["wal_enabled"] = true
+				body["wal_durable_seq"] = d.DurableSeq
+				body["wal_first_seq"] = d.FirstSeq
+				body["wal_checkpoint_seq"] = d.CheckpointSeq
+				body["wal_segments"] = d.Segments
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(body)
 	})
 
 	return mux
+}
+
+// readNTriples parses an N-Triples file into public triples — the seed for
+// a durable store's first boot.
+func readNTriples(path string) ([]parj.Triple, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []parj.Triple
+	rd := rdf.NewReader(f)
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, parj.Triple(t))
+	}
 }
 
 // querySource extracts the SPARQL text from a query parameter, a form

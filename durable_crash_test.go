@@ -1,0 +1,219 @@
+package parj
+
+import (
+	"fmt"
+	"testing"
+
+	"parj/internal/testutil"
+	"parj/internal/wal"
+)
+
+// durable_crash_test.go — recovery interleaved with the write path's other
+// moving parts: reconciliation (which rebuilds base tables in memory and is
+// deliberately NOT durable on its own), pending un-reconciled deltas, and
+// checkpoint pruning. Each scenario kills the simulated filesystem at the
+// awkward moment and demands the reopened store equal the oracle exactly.
+
+func crashTriple(i int) Triple {
+	return Triple{
+		S: fmt.Sprintf("<urn:crash:s%d>", i),
+		P: fmt.Sprintf("<urn:crash:p%d>", i%3),
+		O: fmt.Sprintf("<urn:crash:o%d>", i),
+	}
+}
+
+func crashSeed(n int) []Triple {
+	out := make([]Triple, n)
+	for i := range out {
+		out[i] = crashTriple(i)
+	}
+	return out
+}
+
+// durableTriples reconciles and decodes the store's full triple set.
+func durableTriples(s *Store) map[Triple]bool {
+	s.Reconcile()
+	st := s.live.View().Base()
+	out := make(map[Triple]bool, st.NumTriples())
+	st.Triples(func(sub, p, o uint32) bool {
+		out[Triple{
+			S: st.Resources.Decode(sub),
+			P: st.Predicates.Decode(p),
+			O: st.Resources.Decode(o),
+		}] = true
+		return true
+	})
+	return out
+}
+
+func assertTripleSet(t *testing.T, s *Store, want map[Triple]bool) {
+	t.Helper()
+	got := durableTriples(s)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d triples, oracle has %d", len(got), len(want))
+	}
+	for tr := range want {
+		if !got[tr] {
+			t.Fatalf("recovered store missing oracle triple %v", tr)
+		}
+	}
+}
+
+func openCrash(t *testing.T, fs *wal.MemFS, seed []Triple, segBytes int64) *Store {
+	t.Helper()
+	s, err := Open(LoadOptions{DB: DBOptions{Durability: Durability{FS: fs, SegmentBytes: segBytes}}},
+		func() ([]Triple, error) { return seed, nil })
+	if err != nil {
+		t.Fatalf("open durable store: %v", err)
+	}
+	return s
+}
+
+// TestDurableRecoverAfterReconcile kills the store right after a
+// reconciliation. Reconcile merges the pending delta into fresh base tables
+// purely in memory — nothing about it reaches disk — so recovery must
+// rebuild the same state from the checkpoint plus WAL replay alone.
+func TestDurableRecoverAfterReconcile(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	fs := wal.NewMemFS()
+	seed := crashSeed(8)
+	oracle := make(map[Triple]bool)
+	for _, tr := range seed {
+		oracle[tr] = true
+	}
+	s := openCrash(t, fs, seed, 0)
+	for i := 8; i < 20; i++ {
+		tr := crashTriple(i)
+		if _, err := s.Write([]Triple{tr}, nil); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		oracle[tr] = true
+	}
+	// Delete a slice of the seed, then reconcile: base tables are rebuilt
+	// without the deleted rows and the delta is emptied.
+	dels := []Triple{crashTriple(1), crashTriple(3), crashTriple(10)}
+	if _, err := s.Write(nil, dels); err != nil {
+		t.Fatalf("delete batch: %v", err)
+	}
+	for _, tr := range dels {
+		delete(oracle, tr)
+	}
+	s.Reconcile()
+	if s.PendingWrites() != 0 {
+		t.Fatalf("pending writes after reconcile: %d", s.PendingWrites())
+	}
+	wantSeq := s.WriteSeq()
+
+	fs.Crash()
+	s.Close() // the close itself fails against a dead filesystem
+
+	r := openCrash(t, fs.Recover(), seed, 0)
+	defer r.Close()
+	if got := r.WriteSeq(); got != wantSeq {
+		t.Fatalf("recovered seq %d, want %d", got, wantSeq)
+	}
+	assertTripleSet(t, r, oracle)
+}
+
+// TestDurableRecoverPendingDelta crashes mid-burst — an fsync that never
+// happens — with the delta never reconciled. Every acknowledged write must
+// survive; the batch whose fsync died must be the only loss boundary.
+func TestDurableRecoverPendingDelta(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	fs := wal.NewMemFS()
+	seed := crashSeed(5)
+	oracle := make(map[Triple]bool)
+	for _, tr := range seed {
+		oracle[tr] = true
+	}
+	s := openCrash(t, fs, seed, 0)
+	fs.FailAt(wal.OpSync, 4, wal.CrashBefore) // boot consumed some syncs; die a few batches in
+	var acked uint64
+	for i := 5; i < 40; i++ {
+		tr := crashTriple(i)
+		seq, err := s.Write([]Triple{tr}, nil)
+		if err != nil {
+			break // the crash point: this batch was never acknowledged
+		}
+		acked = seq
+		oracle[tr] = true
+	}
+	if acked == 0 {
+		t.Fatal("crash fired before any write was acknowledged")
+	}
+	if !fs.Crashed() {
+		t.Fatal("fault never fired")
+	}
+	s.Close()
+
+	r := openCrash(t, fs.Recover(), seed, 0)
+	defer r.Close()
+	if got := r.WriteSeq(); got < acked {
+		t.Fatalf("recovered seq %d lost acknowledged writes (acked %d)", got, acked)
+	}
+	if r.PendingWrites() == 0 {
+		t.Fatal("expected replayed writes to sit in the pending delta")
+	}
+	assertTripleSet(t, r, oracle)
+}
+
+// TestDurableCheckpointCrashBeforePrune publishes a checkpoint and dies
+// before pruning the segments it obsoletes. Recovery must prefer the new
+// checkpoint, tolerate the stale segments, and keep accepting writes.
+func TestDurableCheckpointCrashBeforePrune(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	fs := wal.NewMemFS()
+	seed := crashSeed(4)
+	oracle := make(map[Triple]bool)
+	for _, tr := range seed {
+		oracle[tr] = true
+	}
+	// Tiny segments force rotation, so the checkpoint has segments to prune.
+	s := openCrash(t, fs, seed, 256)
+	for i := 4; i < 24; i++ {
+		tr := crashTriple(i)
+		if _, err := s.Write([]Triple{tr}, nil); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		oracle[tr] = true
+	}
+	wantSeq := s.WriteSeq()
+	before := s.DurabilityStats()
+	if before.Segments < 2 {
+		t.Fatalf("expected rotated segments before checkpoint, have %d", before.Segments)
+	}
+	fs.FailAt(wal.OpRemove, 1, wal.CrashBefore)
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("checkpoint survived the injected prune crash")
+	}
+	if !fs.Crashed() {
+		t.Fatal("fault never fired")
+	}
+	s.Close()
+
+	r := openCrash(t, fs.Recover(), seed, 256)
+	defer r.Close()
+	if got := r.WriteSeq(); got != wantSeq {
+		t.Fatalf("recovered seq %d, want %d", got, wantSeq)
+	}
+	if ck := r.DurabilityStats().CheckpointSeq; ck != wantSeq {
+		t.Fatalf("recovery ignored the published checkpoint: covers %d, want %d", ck, wantSeq)
+	}
+	assertTripleSet(t, r, oracle)
+
+	// The stream must continue: write past the crash, checkpoint cleanly
+	// (pruning now succeeds), and verify one more recovery round-trip.
+	tr := crashTriple(99)
+	seq, err := r.Write([]Triple{tr}, nil)
+	if err != nil {
+		t.Fatalf("post-recovery write: %v", err)
+	}
+	if seq != wantSeq+1 {
+		t.Fatalf("post-recovery write got seq %d, want %d", seq, wantSeq+1)
+	}
+	oracle[tr] = true
+	if err := r.Checkpoint(); err != nil {
+		t.Fatalf("post-recovery checkpoint: %v", err)
+	}
+	assertTripleSet(t, r, oracle)
+}

@@ -93,7 +93,9 @@ func CompareReports(baseline, cur *Report, tol float64) []string {
 }
 
 // JSONExperiments lists the experiment ids RunJSONExperiment accepts.
-func JSONExperiments() []string { return []string{"table5", "skew", "cyclic", "slo", "write"} }
+func JSONExperiments() []string {
+	return []string{"table5", "skew", "cyclic", "slo", "write", "walwrite"}
+}
 
 // RunJSONExperiment measures one experiment in report form. Unlike the
 // table experiments, the engines here run at 1 thread (table5) or with the
@@ -115,8 +117,10 @@ func RunJSONExperiment(name string, cfg ExpConfig, blocks int) (*Report, error) 
 		return jsonSLO(cfg, blocks)
 	case "write":
 		return jsonWrite(cfg, blocks)
+	case "walwrite":
+		return jsonWALWrite(cfg, blocks)
 	default:
-		return nil, fmt.Errorf("bench: experiment %q has no JSON mode (valid: table5, skew, cyclic, slo, write)", name)
+		return nil, fmt.Errorf("bench: experiment %q has no JSON mode (valid: table5, skew, cyclic, slo, write, walwrite)", name)
 	}
 }
 

@@ -157,6 +157,28 @@ func TestJSONWriteReport(t *testing.T) {
 	}
 }
 
+// TestJSONWALWriteReport smoke-runs the durable-write experiment: every
+// mode must record a throughput median and the group-commit notes must
+// parse. Whether group commit actually beats per-op fsync on a given
+// filesystem is what the committed BENCH_walwrite.json documents — a CI
+// smoke test asserting a perf ordering on shared runners would cry wolf.
+func TestJSONWALWriteReport(t *testing.T) {
+	rep, err := RunJSONExperiment("walwrite", ExpConfig{Timeout: 2 * time.Minute}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"us-per-write/volatile", "us-per-write/wal-group", "us-per-write/wal-perop", "us-per-write/wal-interval"} {
+		if rep.Medians[k] <= 0 {
+			t.Fatalf("%s: no median recorded (medians %v)", k, rep.Medians)
+		}
+	}
+	for _, k := range []string{"group-commit-speedup-over-perop", "group-commit-cost-vs-volatile"} {
+		if v, err := strconv.ParseFloat(rep.Notes[k], 64); err != nil || v <= 0 {
+			t.Fatalf("note %s = %q: want positive ratio (notes %v)", k, rep.Notes[k], rep.Notes)
+		}
+	}
+}
+
 // TestBenchRegression is the regression tier of the harness: pointed at a
 // committed baseline report via PARJ_BENCH_BASELINE, it replays the same
 // experiment at the baseline's parameters and fails if any median

@@ -1,0 +1,189 @@
+package bench
+
+// walwrite.go — the "walwrite" experiment: durable write throughput.
+//
+// The WAL's group commit exists so that durability costs one fsync per
+// convoy, not one per batch. This experiment measures that claim on the
+// public parj API: concurrent writers drive closed-loop Write batches into
+//
+//   - a volatile store (no WAL — the ceiling the journal must not crater),
+//   - a durable store under group commit (SyncAlways, the default),
+//   - the same store forced to one fsync per batch (PerOpSync — the
+//     baseline group commit must beat),
+//   - interval sync (the bulk-load corner: fsync on a timer).
+//
+// Every mode opens a fresh log directory per block so segment growth and
+// checkpoint debt cannot leak between samples; blocks interleave the modes
+// so machine drift hits all of them alike.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parj"
+)
+
+const (
+	// walWriters is the closed-loop writer count: group commit only has
+	// something to coalesce when batches arrive concurrently.
+	walWriters = 4
+	// walBatch is the triples per Write call.
+	walBatch = 16
+	// walWindow is the measured closed-loop window per mode per block.
+	walWindow = 300 * time.Millisecond
+	// walReconcileEvery bounds the pending delta during the run, folding
+	// reconciliation costs into the measurement as the write experiment
+	// does.
+	walReconcileEvery = 4096
+)
+
+// walMode is one durability configuration under test.
+type walMode struct {
+	name     string
+	volatile bool
+	durable  func(dir string) parj.Durability
+}
+
+func walModes() []walMode {
+	return []walMode{
+		{name: "volatile", volatile: true},
+		{name: "wal-group", durable: func(dir string) parj.Durability {
+			return parj.Durability{Dir: dir}
+		}},
+		{name: "wal-perop", durable: func(dir string) parj.Durability {
+			return parj.Durability{Dir: dir, PerOpSync: true}
+		}},
+		{name: "wal-interval", durable: func(dir string) parj.Durability {
+			return parj.Durability{Dir: dir, Sync: parj.SyncInterval, SyncInterval: 5 * time.Millisecond}
+		}},
+	}
+}
+
+// walSeed is the small shared base store every mode starts from.
+func walSeed() []parj.Triple {
+	out := make([]parj.Triple, 64)
+	for i := range out {
+		out[i] = parj.Triple{
+			S: fmt.Sprintf("<walbench-s%d>", i),
+			P: "<walbench-p>",
+			O: fmt.Sprintf("<walbench-o%d>", i%7),
+		}
+	}
+	return out
+}
+
+// measureWALWrite runs one mode's closed-loop window and returns acknowledged
+// writes per second (triples, not batches).
+func measureWALWrite(m walMode, block int) (float64, error) {
+	var db *parj.Store
+	if m.volatile {
+		b := parj.NewBuilder(parj.LoadOptions{})
+		for _, t := range walSeed() {
+			b.Add(t.S, t.P, t.O)
+		}
+		db = b.Build()
+	} else {
+		dir, err := os.MkdirTemp("", "parj-walbench-*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		db, err = parj.Open(parj.LoadOptions{DB: parj.DBOptions{Durability: m.durable(dir)}},
+			func() ([]parj.Triple, error) { return walSeed(), nil })
+		if err != nil {
+			return 0, fmt.Errorf("bench: open %s store: %w", m.name, err)
+		}
+	}
+	defer db.Close()
+
+	var (
+		total    int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < walWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Since(start) < walWindow; i++ {
+				batch := make([]parj.Triple, walBatch)
+				for j := range batch {
+					batch[j] = parj.Triple{
+						S: fmt.Sprintf("<walbench-b%d-w%d-i%d-j%d>", block, w, i, j),
+						P: "<walbench-wp>",
+						O: fmt.Sprintf("<walbench-o%d>", (i+j)%97),
+					}
+				}
+				if _, err := db.Write(batch, nil); err != nil {
+					firstErr.Store(err)
+					return
+				}
+				atomic.AddInt64(&total, int64(walBatch))
+				if w == 0 && db.PendingWrites() >= walReconcileEvery {
+					db.Reconcile()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok {
+		return 0, fmt.Errorf("bench: %s writer: %w", m.name, err)
+	}
+	return float64(atomic.LoadInt64(&total)) / elapsed.Seconds(), nil
+}
+
+// jsonWALWrite measures the walwrite experiment in report form.
+func jsonWALWrite(cfg ExpConfig, blocks int) (*Report, error) {
+	modes := walModes()
+	rep := &Report{
+		Name:   "walwrite",
+		Blocks: blocks,
+		Params: map[string]string{
+			"writers":         fmt.Sprint(walWriters),
+			"write_batch":     fmt.Sprint(walBatch),
+			"window_ms":       fmt.Sprint(walWindow.Milliseconds()),
+			"reconcile_every": fmt.Sprint(walReconcileEvery),
+			"sync_interval":   "5ms",
+		},
+		Medians: map[string]float64{},
+		Counts:  map[string]int64{},
+		Notes:   map[string]string{},
+	}
+	samples := make(map[string][]float64, len(modes))
+	for blk := 0; blk < blocks; blk++ {
+		for _, m := range modes {
+			wps, err := measureWALWrite(m, blk)
+			if err != nil {
+				return nil, err
+			}
+			samples[m.name] = append(samples[m.name], wps)
+			if cfg.Progress != nil {
+				cfg.Progress("walwrite block %d/%d: %-12s %9.0f writes/s", blk+1, blocks, m.name, wps)
+			}
+		}
+	}
+	// Medians are microseconds per acknowledged write — a latency-shaped
+	// number so CompareReports' "bigger is worse" rule holds for this
+	// report too. The human-friendly writes/sec lands in Notes.
+	wps := map[string]float64{}
+	for _, m := range modes {
+		w := median(samples[m.name])
+		wps[m.name] = w
+		if w > 0 {
+			rep.Medians["us-per-write/"+m.name] = 1e6 / w
+		}
+		rep.Notes["writes-per-sec/"+m.name] = fmt.Sprintf("%.0f", w)
+	}
+	if perop := wps["wal-perop"]; perop > 0 {
+		rep.Notes["group-commit-speedup-over-perop"] = fmt.Sprintf("%.2f", wps["wal-group"]/perop)
+	}
+	if vol := wps["volatile"]; vol > 0 {
+		rep.Notes["group-commit-cost-vs-volatile"] = fmt.Sprintf("%.2f", wps["wal-group"]/vol)
+	}
+	return rep, nil
+}

@@ -14,6 +14,7 @@ import (
 	"parj/internal/resilience"
 	"parj/internal/search"
 	"parj/internal/sparql"
+	"parj/internal/wal"
 )
 
 // Policy decides how the coordinator degrades when a shard cannot be
@@ -91,10 +92,41 @@ type RemoteOptions struct {
 	// (rebalancing) only happens when a policy is invoked explicitly.
 	HeatAlpha float64
 
-	// WriteLogCap bounds the coordinator's write replay log (write.go);
-	// 0 = default 1024 batches.
-	WriteLogCap int
+	// Write configures the coordinator's write stream: replay-log
+	// retention and optional write-ahead durability (write.go).
+	Write WriteOptions
 }
+
+// WriteOptions configures the coordinator's side of the live write path.
+type WriteOptions struct {
+	// ReplayLogSize bounds the in-memory replay cache (0 = default 1024
+	// batches). With a WAL attached the cache is just the hot tail: a
+	// replica behind the cache is still caught up by log replay, and
+	// ErrLogTruncated occurs only past the WAL's own retention.
+	ReplayLogSize int
+
+	// WALDir enables the coordinator's write-ahead log: every batch is
+	// journaled and fsynced before it fans out to the replicas, so the
+	// sequencer position — and the replay log — survive a coordinator
+	// restart. Empty (and WALFS nil) keeps the log purely in memory.
+	WALDir string
+	// WALFS overrides the log's filesystem (crash-injection tests);
+	// when set, WALDir is ignored.
+	WALFS wal.FS
+	// WALSync is the fsync policy (default wal.SyncAlways: group commit).
+	WALSync wal.SyncPolicy
+	// WALSyncInterval is the flush period under wal.SyncInterval.
+	WALSyncInterval time.Duration
+	// WALSegmentBytes caps a log segment before rotation (0 = 4 MiB).
+	WALSegmentBytes int64
+	// WALRetainBatches prunes log segments once the log spans more than
+	// this many batches (0 = retain everything). Pruning is per whole
+	// segment, so the log may retain somewhat more.
+	WALRetainBatches uint64
+}
+
+// walEnabled reports whether the coordinator journals its write stream.
+func (w WriteOptions) walEnabled() bool { return w.WALDir != "" || w.WALFS != nil }
 
 // ShardError records which shard failed and why; Unwrap exposes the cause
 // so errors.Is sees the governance taxonomy through it.
@@ -166,6 +198,11 @@ type Remote struct {
 	// replay; one further behind needs a snapshot warm first.
 	writeLog []WriteBatch
 	logStart uint64
+	// wlog, when non-nil, is the durable backing of the replay log: every
+	// batch is appended (and fsynced per the policy) before fan-out, and
+	// Resync falls back to it when a replica is behind the in-memory
+	// cache. Guarded by writeMu.
+	wlog *wal.Log
 }
 
 // WriteBatch is one sequenced batch in the coordinator's replay log.
@@ -194,6 +231,11 @@ func NewRemote(opts RemoteOptions) (*Remote, error) {
 		clock:     opts.Clock,
 		heat:      NewHeatTracker(len(opts.Replicas), opts.HeatAlpha),
 		endpoints: make(map[string]*endpointState),
+	}
+	if opts.Write.walEnabled() {
+		if err := r.recoverWriteLog(); err != nil {
+			return nil, err
+		}
 	}
 	r.topoMu.Lock()
 	r.cur = r.buildEpochLocked(opts.Replicas, nil)
@@ -225,9 +267,16 @@ func (r *Remote) endpointClient(ep string) *remote.Client {
 	return nil
 }
 
-// Close stops the health checker and releases every epoch and endpoint.
+// Close stops the health checker, closes the write-ahead log if one is
+// attached, and releases every epoch and endpoint.
 func (r *Remote) Close() {
 	r.health.Close()
+	r.writeMu.Lock()
+	if r.wlog != nil {
+		r.wlog.Close()
+		r.wlog = nil
+	}
+	r.writeMu.Unlock()
 	r.topoMu.Lock()
 	defer r.topoMu.Unlock()
 	if r.closed {

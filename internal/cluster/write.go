@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"sync"
 
+	"parj/internal/rdf"
 	"parj/internal/remote"
+	"parj/internal/wal"
 )
 
 // write.go — the coordinator's side of the live write path.
@@ -26,13 +28,88 @@ import (
 // position) is caught up by Resync — replaying exactly the log suffix the
 // snapshot does not contain — before it is re-admitted.
 
-// defaultWriteLogCap bounds the replay log when RemoteOptions.WriteLogCap
-// is zero.
+// defaultWriteLogCap bounds the in-memory replay cache when
+// WriteOptions.ReplayLogSize is zero.
 const defaultWriteLogCap = 1024
 
 // ErrLogTruncated reports a resync target that is further behind than the
 // replay log reaches; the replica must warm from a peer snapshot first.
+// With a WAL attached this only happens past the WAL's own retention
+// (WriteOptions.WALRetainBatches).
 var ErrLogTruncated = errors.New("cluster: replica behind truncated write log")
+
+// recoverWriteLog opens the coordinator's write-ahead log and restores the
+// sequencer position and the in-memory replay cache from it, so the write
+// stream continues where the previous coordinator process stopped instead
+// of forking back to sequence 1.
+func (r *Remote) recoverWriteLog() error {
+	w := r.opts.Write
+	l, err := wal.Open(wal.Options{
+		Dir:          w.WALDir,
+		FS:           w.WALFS,
+		Sync:         w.WALSync,
+		Interval:     w.WALSyncInterval,
+		SegmentBytes: w.WALSegmentBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: open write wal: %w", err)
+	}
+	cap := w.ReplayLogSize
+	if cap <= 0 {
+		cap = defaultWriteLogCap
+	}
+	last := l.LastSeq()
+	from := l.FirstSeq()
+	if last >= uint64(cap) && last-uint64(cap)+1 > from {
+		from = last - uint64(cap) + 1
+	}
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	r.wlog = l
+	r.writeSeq = last
+	if last == 0 {
+		return nil
+	}
+	err = l.Replay(from, func(rec wal.Record) error {
+		if r.logStart == 0 {
+			r.logStart = rec.Seq
+		}
+		r.writeLog = append(r.writeLog, WriteBatch{
+			Seq:     rec.Seq,
+			Inserts: remoteTriples(rec.Inserts),
+			Deletes: remoteTriples(rec.Deletes),
+		})
+		return nil
+	})
+	if err != nil {
+		l.Close()
+		r.wlog = nil
+		return fmt.Errorf("cluster: recover write wal: %w", err)
+	}
+	return nil
+}
+
+func rdfTriples(ts []remote.Triple) []rdf.Triple {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]rdf.Triple, len(ts))
+	for i, t := range ts {
+		out[i] = rdf.Triple{S: t.S, P: t.P, O: t.O}
+	}
+	return out
+}
+
+func remoteTriples(ts []rdf.Triple) []remote.Triple {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]remote.Triple, len(ts))
+	for i, t := range ts {
+		out[i] = remote.Triple{S: t.S, P: t.P, O: t.O}
+	}
+	return out
+}
 
 // WriteSeq reports the last committed write-batch sequence number.
 func (r *Remote) WriteSeq() uint64 {
@@ -55,6 +132,18 @@ func (r *Remote) Write(ctx context.Context, inserts, deletes []remote.Triple) (u
 	seq := r.writeSeq + 1
 	batch := WriteBatch{Seq: seq, Inserts: inserts, Deletes: deletes}
 
+	// Durability first: the batch reaches the journal — and its fsync
+	// policy — before any replica sees it, so a coordinator crash can
+	// never leave a replica holding a sequence number the restarted
+	// coordinator has no record of. A failed append rejects the write
+	// outright: nothing fanned out, the sequence did not advance.
+	if r.wlog != nil {
+		rec := wal.Record{Seq: seq, Inserts: rdfTriples(inserts), Deletes: rdfTriples(deletes)}
+		if err := r.wlog.Append(rec); err != nil {
+			return 0, fmt.Errorf("cluster: write wal append %d: %w", seq, err)
+		}
+	}
+
 	ep := r.pin()
 	defer r.unpin(ep)
 	req := &remote.WriteRequest{Seq: seq, Inserts: inserts, Deletes: deletes}
@@ -75,20 +164,27 @@ func (r *Remote) Write(ctx context.Context, inserts, deletes []remote.Triple) (u
 	}
 	wg.Wait()
 
-	// Commit: the batch is durable in the log even if some replica failed —
-	// sequence numbers never fork.
+	// Commit: the batch is recorded in the replay log even if some replica
+	// failed — sequence numbers never fork.
 	r.writeSeq = seq
 	if r.logStart == 0 {
 		r.logStart = seq
 	}
 	r.writeLog = append(r.writeLog, batch)
-	logCap := r.opts.WriteLogCap
+	logCap := r.opts.Write.ReplayLogSize
 	if logCap <= 0 {
 		logCap = defaultWriteLogCap
 	}
 	if over := len(r.writeLog) - logCap; over > 0 {
 		r.writeLog = append([]WriteBatch(nil), r.writeLog[over:]...)
 		r.logStart += uint64(over)
+	}
+	// Retention: drop WAL segments wholly behind the configured span.
+	// Best effort — a failed prune costs disk, not correctness.
+	if r.wlog != nil {
+		if retain := r.opts.Write.WALRetainBatches; retain > 0 && seq > retain {
+			r.wlog.Prune(seq - retain)
+		}
 	}
 
 	var failed []string
@@ -174,16 +270,66 @@ func (r *Remote) Resync(ctx context.Context, endpoint string) error {
 	if sz.WriteSeq >= r.writeSeq {
 		return nil
 	}
-	if sz.WriteSeq+1 < r.logStart {
+	from := sz.WriteSeq + 1
+	if from < r.logStart || r.logStart == 0 {
+		// Behind the in-memory cache: fall back to the write-ahead log,
+		// which reaches further into the past (up to its retention).
+		if r.wlog != nil {
+			if first := r.wlog.FirstSeq(); first != 0 && from >= first {
+				err := r.wlog.Replay(from, func(rec wal.Record) error {
+					req := &remote.WriteRequest{
+						Seq:     rec.Seq,
+						Inserts: remoteTriples(rec.Inserts),
+						Deletes: remoteTriples(rec.Deletes),
+					}
+					_, werr := client.Write(ctx, req)
+					return werr
+				})
+				if err != nil {
+					return fmt.Errorf("cluster: resync %s from wal: %w", endpoint, err)
+				}
+				return nil
+			}
+			return fmt.Errorf("%w: replica at %d, wal starts at %d", ErrLogTruncated, sz.WriteSeq, r.wlog.FirstSeq())
+		}
 		return fmt.Errorf("%w: replica at %d, log starts at %d", ErrLogTruncated, sz.WriteSeq, r.logStart)
 	}
-	for _, batch := range r.writeLog[sz.WriteSeq+1-r.logStart:] {
+	for _, batch := range r.writeLog[from-r.logStart:] {
 		req := &remote.WriteRequest{Seq: batch.Seq, Inserts: batch.Inserts, Deletes: batch.Deletes}
 		if _, err := client.Write(ctx, req); err != nil {
 			return fmt.Errorf("cluster: resync %s at batch %d: %w", endpoint, batch.Seq, err)
 		}
 	}
 	return nil
+}
+
+// WriteLogStats describes the replay log's span: the in-memory cache, the
+// WAL position behind it (zero when the coordinator is volatile), and the
+// sequencer head. Cluster health surfaces use it the way /statz surfaces a
+// node's WAL fields.
+type WriteLogStats struct {
+	Seq        uint64 `json:"seq"`             // last committed batch
+	CacheStart uint64 `json:"cache_start"`     // oldest cached batch (0 = empty)
+	CacheLen   int    `json:"cache_len"`       // cached batches
+	WALEnabled bool   `json:"wal_enabled"`     // write-ahead log attached
+	WALFirst   uint64 `json:"wal_first_seq"`   // oldest journaled batch
+	WALDurable uint64 `json:"wal_durable_seq"` // last fsync-covered batch
+	WALSegs    int    `json:"wal_segments"`    // live segment files
+}
+
+// WriteLog reports the replay log's current span.
+func (r *Remote) WriteLog() WriteLogStats {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	s := WriteLogStats{Seq: r.writeSeq, CacheStart: r.logStart, CacheLen: len(r.writeLog)}
+	if r.wlog != nil {
+		ws := r.wlog.Stats()
+		s.WALEnabled = true
+		s.WALFirst = ws.FirstSeq
+		s.WALDurable = ws.DurableSeq
+		s.WALSegs = ws.Segments
+	}
+	return s
 }
 
 // ReconcileAll forces a synchronous reconciliation on every distinct

@@ -23,6 +23,7 @@ import (
 	"parj/internal/stats"
 	"parj/internal/store"
 	"parj/internal/testutil"
+	"parj/internal/wal"
 )
 
 // writeNode builds one independent full replica over its own store and
@@ -299,6 +300,256 @@ func decodeRows(t *testing.T, mirror *live.Handle, src string, rows [][]uint32) 
 	return out
 }
 
+// TestRemoteWriteWALKillRestart: a durable replica killed mid-burst comes
+// back from its own write-ahead log. Local replay must restore every batch
+// the replica acknowledged before the kill — exactly, no fork, no loss —
+// and the coordinator's Resync then ships only the suffix the replica
+// missed while it was down.
+func TestRemoteWriteWALKillRestart(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	ctx := context.Background()
+	base := lubm.Triples(1, lubm.Config{})
+	bo := store.BuildOptions{BuildPosIndex: true}
+	_, srvA := writeNode(t, base)
+	defer srvA.Close()
+
+	// Replica B journals every applied batch to a crash-injectable
+	// filesystem; the seed runs only on its very first boot.
+	fs := wal.NewMemFS()
+	seed := func() (*store.Store, uint64, error) {
+		return store.LoadTriples(append([]rdf.Triple(nil), base...), bo), 0, nil
+	}
+	log1, err := wal.Open(wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := live.OpenDurable(log1, seed, bo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeB := remote.NewNodeHandle(h1, remote.NodeOptions{})
+	srvB := httptest.NewServer(nodeB.Handler())
+
+	r, err := NewRemote(RemoteOptions{Replicas: [][]string{{srvA.URL, srvB.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	oracle := map[rdf.Triple]bool{}
+	write := func(i int) {
+		t.Helper()
+		ins := []rdf.Triple{{S: fmt.Sprintf("<w-%d>", i), P: "<wp>", O: fmt.Sprintf("<wo-%d>", i%5)}}
+		var dels []rdf.Triple
+		if i%4 == 0 {
+			victim := rdf.Triple{S: fmt.Sprintf("<w-%d>", i-1), P: "<wp>", O: fmt.Sprintf("<wo-%d>", (i-1)%5)}
+			dels = append(dels, victim)
+		}
+		if _, err := r.Write(ctx, wire(ins), wire(dels)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		for _, tr := range dels {
+			delete(oracle, tr)
+		}
+		for _, tr := range ins {
+			oracle[tr] = true
+		}
+	}
+
+	for i := 1; i <= 25; i++ {
+		write(i)
+	}
+	killSeq := r.WriteSeq()
+	if got := h1.Seq(); got != killSeq {
+		t.Fatalf("replica B at seq %d before kill, coordinator at %d", got, killSeq)
+	}
+
+	// Kill: the listener vanishes and the filesystem drops everything not
+	// yet fsynced — the crash a power cut would produce.
+	srvB.Close()
+	fs.Crash()
+	h1.Quiesce()
+	log1.Close()
+
+	// The stream moves on; the first write that fails against B evicts it.
+	for i := 26; i <= 40; i++ {
+		write(i)
+	}
+	for _, ep := range r.Endpoints() {
+		if ep == srvB.URL {
+			t.Fatal("killed replica still in the routing table")
+		}
+	}
+
+	// Restart from the crashed filesystem image: recovery is checkpoint +
+	// local replay — no peer snapshot, no full reload.
+	log2, err := wal.Open(wal.Options{FS: fs.Recover()})
+	if err != nil {
+		t.Fatalf("reopen wal after crash: %v", err)
+	}
+	h2, err := live.OpenDurable(log2, seed, bo)
+	if err != nil {
+		t.Fatalf("recover replica: %v", err)
+	}
+	defer func() {
+		h2.Quiesce()
+		log2.Close()
+	}()
+	// Every batch acknowledged before the kill was group-committed, so the
+	// local replay must land exactly on the kill position.
+	if got := h2.Seq(); got != killSeq {
+		t.Fatalf("local replay recovered seq %d, want %d (acked at kill)", got, killSeq)
+	}
+	node2 := remote.NewNodeHandle(h2, remote.NodeOptions{})
+	srv2 := httptest.NewServer(node2.Handler())
+	defer srv2.Close()
+
+	// Resync ships only the missed suffix (the coordinator reads the
+	// replica's recovered position from /statz), then the replica rejoins.
+	if err := r.Resync(ctx, srv2.URL); err != nil {
+		t.Fatalf("resync recovered replica: %v", err)
+	}
+	if sz := node2.Statz(); sz.WriteSeq != r.WriteSeq() {
+		t.Fatalf("sequence fork after rejoin: replica %d, coordinator %d", sz.WriteSeq, r.WriteSeq())
+	}
+	if _, err := r.AddReplica(ctx, 0, srv2.URL); err != nil {
+		t.Fatal(err)
+	}
+	for i := 41; i <= 50; i++ {
+		write(i)
+	}
+	if err := r.ReconcileAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle equality on the recovered replica: every surviving written
+	// triple present, every deleted one absent.
+	sz := node2.Statz()
+	if sz.WriteSeq != 50 {
+		t.Fatalf("recovered replica at seq %d after full burst, want 50", sz.WriteSeq)
+	}
+	if !sz.WALEnabled || sz.WALDurableSeq < 50 {
+		t.Fatalf("statz wal position: enabled=%v durable=%d", sz.WALEnabled, sz.WALDurableSeq)
+	}
+	st := node2.Store()
+	count := 0
+	for i := 1; i <= 50; i++ {
+		tr := rdf.Triple{S: fmt.Sprintf("<w-%d>", i), P: "<wp>", O: fmt.Sprintf("<wo-%d>", i%5)}
+		s, p, o := st.Resources.Lookup(tr.S), st.Predicates.Lookup(tr.P), st.Resources.Lookup(tr.O)
+		has := s != 0 && p != 0 && o != 0 && st.HasTriple(s, p, o)
+		if oracle[tr] != has {
+			t.Fatalf("recovered replica diverged from oracle at %v: present=%v want=%v", tr, has, oracle[tr])
+		}
+		if has {
+			count++
+		}
+	}
+	if count != len(oracle) {
+		t.Fatalf("recovered replica holds %d written triples, oracle %d", count, len(oracle))
+	}
+}
+
+// TestRemoteCoordinatorWALRestart: the coordinator's in-memory replay log
+// is a cache over its own WAL. A restarted (crashed) coordinator resumes
+// the sequence where the journal ends, resyncs a replica that is far
+// behind the small in-memory window by replaying from the journal, and
+// reports ErrLogTruncated only once retention has pruned the needed
+// prefix.
+func TestRemoteCoordinatorWALRestart(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	ctx := context.Background()
+	base := lubm.Triples(1, lubm.Config{})
+	_, srvA := writeNode(t, base)
+	defer srvA.Close()
+
+	fs := wal.NewMemFS()
+	r, err := NewRemote(RemoteOptions{
+		Replicas: [][]string{{srvA.URL}},
+		Write:    WriteOptions{ReplayLogSize: 4, WALFS: fs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		ins := []remote.Triple{{S: fmt.Sprintf("<s%d>", i), P: "<wp>", O: "<o>"}}
+		if _, err := r.Write(ctx, ins, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := r.WriteLog()
+	if !ws.WALEnabled || ws.Seq != 10 || ws.WALDurable != 10 || ws.CacheLen != 4 {
+		t.Fatalf("write log stats before crash: %+v", ws)
+	}
+	// The coordinator process dies; only fsynced journal state survives.
+	fs.Crash()
+	r.Close()
+
+	r2, err := NewRemote(RemoteOptions{
+		Replicas: [][]string{{srvA.URL}},
+		Write:    WriteOptions{ReplayLogSize: 4, WALFS: fs.Recover()},
+	})
+	if err != nil {
+		t.Fatalf("restart coordinator: %v", err)
+	}
+	defer r2.Close()
+	if got := r2.WriteSeq(); got != 10 {
+		t.Fatalf("restarted coordinator at seq %d, want 10", got)
+	}
+
+	// A replica at seq 0 is far behind the 4-batch cache, but the journal
+	// reaches back to batch 1: resync replays from the WAL, no snapshot
+	// warm needed.
+	stale, srvStale := writeNode(t, base)
+	defer srvStale.Close()
+	if err := r2.Resync(ctx, srvStale.URL); err != nil {
+		t.Fatalf("resync from wal: %v", err)
+	}
+	if sz := stale.Statz(); sz.WriteSeq != 10 {
+		t.Fatalf("replica resynced from wal at seq %d, want 10", sz.WriteSeq)
+	}
+
+	// The stream continues from the recovered head without forking: the
+	// replica that applied 1..10 from the old coordinator accepts 11.
+	ins := []remote.Triple{{S: "<s11>", P: "<wp>", O: "<o>"}}
+	if seq, err := r2.Write(ctx, ins, nil); err != nil || seq != 11 {
+		t.Fatalf("write after restart: seq=%d err=%v", seq, err)
+	}
+
+	// Retention: prune the journal down and the cold resync path finally
+	// reports typed truncation.
+	fs2 := wal.NewMemFS()
+	r3, err := NewRemote(RemoteOptions{
+		Replicas: [][]string{{srvA.URL}},
+		Write: WriteOptions{
+			ReplayLogSize:    2,
+			WALFS:            fs2,
+			WALSegmentBytes:  200,
+			WALRetainBatches: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	// srvA is already at seq 11 from the streams above; r3 starts at 0 and
+	// its writes 1..20 are idempotent replays on the replica — harmless
+	// for what this block tests (the coordinator's own log retention).
+	for i := 1; i <= 20; i++ {
+		ins := []remote.Triple{{S: fmt.Sprintf("<t%d>", i), P: "<wp>", O: "<o>"}}
+		if _, err := r3.Write(ctx, ins, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ws := r3.WriteLog(); ws.WALFirst <= 1 {
+		t.Fatalf("retention never pruned: wal starts at %d", ws.WALFirst)
+	}
+	_, srvCold := writeNode(t, base)
+	defer srvCold.Close()
+	if err := r3.Resync(ctx, srvCold.URL); !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("resync past retention returned %v, want ErrLogTruncated", err)
+	}
+}
+
 // TestRemoteWriteSeqGapEviction: a stale replica admitted without a resync
 // rejects the next batch with a sequence gap (HTTP 409, non-retryable) and
 // is evicted rather than silently diverging.
@@ -360,8 +611,8 @@ func TestRemoteWriteLogTruncation(t *testing.T) {
 	defer srvStale.Close()
 
 	r, err := NewRemote(RemoteOptions{
-		Replicas:    [][]string{{srvA.URL}},
-		WriteLogCap: 4,
+		Replicas: [][]string{{srvA.URL}},
+		Write:    WriteOptions{ReplayLogSize: 4},
 	})
 	if err != nil {
 		t.Fatal(err)

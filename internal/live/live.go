@@ -35,6 +35,7 @@ import (
 	"parj/internal/rdf"
 	"parj/internal/stats"
 	"parj/internal/store"
+	"parj/internal/wal"
 )
 
 // ErrSeqGap reports a sequenced write that would skip ahead of the locally
@@ -123,6 +124,8 @@ type Handle struct {
 
 	autoOps atomic.Int64 // pending-op threshold for background reconcile; 0 = off
 	wg      sync.WaitGroup
+
+	wal *wal.Log // nil when the handle is volatile
 }
 
 // New wraps a built store. ss may be nil (statistics are then computed
@@ -174,6 +177,24 @@ func (h *Handle) SeedSeq(seq uint64) {
 	})
 }
 
+// AttachWAL makes every subsequent Apply durable: the batch is enqueued
+// to the log under the writer lock (preserving sequence order) and Apply
+// returns only once the log's sync policy has acknowledged it. The
+// handle must already be positioned after the log's last record — attach
+// happens at the end of recovery, after SeedSeq and replay.
+func (h *Handle) AttachWAL(l *wal.Log) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.wal = l
+}
+
+// WAL returns the attached log, or nil for a volatile handle.
+func (h *Handle) WAL() *wal.Log {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.wal
+}
+
 // SetAutoReconcile arms (or, with 0, disarms) the background reconciler:
 // once a published view carries at least ops pending verdicts, one
 // goroutine merges the frozen delta into a fresh base and swaps the epoch.
@@ -198,16 +219,38 @@ func (h *Handle) Quiesce() { h.wg.Wait() }
 // dictionary. Inserts encode new terms; the dictionaries are append-only
 // and shared with every existing view, which is safe because an ID, once
 // assigned, never changes.
+//
+// With a WAL attached the batch is logged before the view is published
+// and Apply blocks until the log's sync policy acknowledges it. The
+// enqueue happens under the writer lock (log order = sequence order) but
+// the fsync wait happens outside it, so sequential writers coalesce into
+// one group commit. A failed enqueue leaves handle state untouched; a
+// failed fsync is returned after the view is already visible — the store
+// has the write, durability does not, and the caller must treat the
+// replica as failed (the log is sticky-poisoned from then on).
 func (h *Handle) Apply(seq uint64, inserts, deletes []rdf.Triple) (uint64, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	switch {
 	case seq == 0:
 		seq = h.seq + 1
 	case seq <= h.seq:
-		return h.seq, nil
+		cur := h.seq
+		h.mu.Unlock()
+		return cur, nil
 	case seq != h.seq+1:
-		return h.seq, fmt.Errorf("%w: applied %d, got %d", ErrSeqGap, h.seq, seq)
+		cur := h.seq
+		h.mu.Unlock()
+		return cur, fmt.Errorf("%w: applied %d, got %d", ErrSeqGap, cur, seq)
+	}
+	var commit *wal.Commit
+	if h.wal != nil {
+		c, err := h.wal.Enqueue(wal.Record{Seq: seq, Inserts: inserts, Deletes: deletes})
+		if err != nil {
+			cur := h.seq
+			h.mu.Unlock()
+			return cur, fmt.Errorf("live: wal append %d: %w", seq, err)
+		}
+		commit = c
 	}
 	v := h.cur.Load()
 	nd := v.delta.Clone()
@@ -238,6 +281,12 @@ func (h *Handle) Apply(seq uint64, inserts, deletes []rdf.Triple) (uint64, error
 			defer h.recMu.Unlock()
 			h.reconcile()
 		}()
+	}
+	h.mu.Unlock()
+	if commit != nil {
+		if err := commit.Wait(); err != nil {
+			return seq, fmt.Errorf("live: wal commit %d: %w", seq, err)
+		}
 	}
 	return seq, nil
 }

@@ -112,7 +112,14 @@ type NodeOptions struct {
 
 // NewNode wraps a loaded replica. ss may be nil (computed from st).
 func NewNode(st *store.Store, ss *stats.Stats, opts NodeOptions) *Node {
-	n := &Node{h: live.New(st, ss, store.InferBuildOptions(st))}
+	return NewNodeHandle(live.New(st, ss, store.InferBuildOptions(st)), opts)
+}
+
+// NewNodeHandle wraps an existing live handle — the durable-node path,
+// where the handle comes out of WAL recovery (live.OpenDurable) already
+// positioned in the write stream.
+func NewNodeHandle(h *live.Handle, opts NodeOptions) *Node {
+	n := &Node{h: h}
 	n.h.SetAutoReconcile(opts.AutoReconcileOps)
 	if opts.AdmissionTarget > 0 {
 		n.adaptive = governance.NewAdaptiveLimiter(governance.AdmissionOptions{
@@ -206,21 +213,27 @@ func (n *Node) Statz() *StatzResponse {
 	n.statMu.Unlock()
 	astats := n.adaptive.Stats()
 	v := n.h.View()
+	d := n.h.Durability()
 	return &StatzResponse{
-		Ready:         n.Ready(),
-		Triples:       v.ApproxTriples(),
-		InFlight:      n.admit.InFlight(),
-		Queries:       n.queries.Load(),
-		Rejections:    n.rejections.Load(),
-		Sheds:         n.sheds.Load(),
-		Expired:       n.expired.Load(),
-		QueueDelayMS:  float64(astats.QueueDelay) / float64(time.Millisecond),
-		Shedding:      astats.Shedding,
-		Failures:      n.failures.Load(),
-		WriteSeq:      n.h.Seq(),
-		PendingWrites: v.Pending(),
-		Epoch:         v.Version(),
-		Sched:         totals,
+		Ready:            n.Ready(),
+		Triples:          v.ApproxTriples(),
+		InFlight:         n.admit.InFlight(),
+		Queries:          n.queries.Load(),
+		Rejections:       n.rejections.Load(),
+		Sheds:            n.sheds.Load(),
+		Expired:          n.expired.Load(),
+		QueueDelayMS:     float64(astats.QueueDelay) / float64(time.Millisecond),
+		Shedding:         astats.Shedding,
+		Failures:         n.failures.Load(),
+		WriteSeq:         n.h.Seq(),
+		PendingWrites:    v.Pending(),
+		Epoch:            v.Version(),
+		WALEnabled:       d.Enabled,
+		WALDurableSeq:    d.DurableSeq,
+		WALFirstSeq:      d.FirstSeq,
+		WALCheckpointSeq: d.CheckpointSeq,
+		WALSegments:      d.Segments,
+		Sched:            totals,
 	}
 }
 

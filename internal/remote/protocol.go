@@ -203,6 +203,19 @@ type StatzResponse struct {
 	// Epoch is the store-view version (advances per write batch and per
 	// reconciliation).
 	Epoch uint64 `json:"epoch"`
+	// WALEnabled reports whether the replica journals writes to a local
+	// write-ahead log (cmd/parj-node -wal). When false the remaining WAL
+	// fields are zero.
+	WALEnabled bool `json:"wal_enabled,omitempty"`
+	// WALDurableSeq is the last write batch an fsync covers — the
+	// replica's crash-survival floor.
+	WALDurableSeq uint64 `json:"wal_durable_seq,omitempty"`
+	// WALFirstSeq is the oldest record still replayable from the log.
+	WALFirstSeq uint64 `json:"wal_first_seq,omitempty"`
+	// WALCheckpointSeq is the newest checkpoint's stream position.
+	WALCheckpointSeq uint64 `json:"wal_checkpoint_seq,omitempty"`
+	// WALSegments counts live log segment files.
+	WALSegments int `json:"wal_segments,omitempty"`
 	// Sched sums scheduler activity across all served queries.
 	Sched SchedTotals `json:"sched"`
 }

@@ -42,6 +42,7 @@ import (
 	"parj/internal/sparql"
 	"parj/internal/stats"
 	"parj/internal/store"
+	"parj/internal/wal"
 )
 
 // Typed governance errors. Every error returned by Query, QueryStream and
@@ -165,6 +166,10 @@ type DBOptions struct {
 	// base tables and swaps the epoch. 0 leaves reconciliation to explicit
 	// Reconcile calls — the deterministic mode tests use.
 	AutoReconcileOps int
+	// Durability configures write-ahead logging. It takes effect only
+	// through Open (recovery must happen before the store exists);
+	// Builder.Build, Load and SetDBOptions ignore it.
+	Durability Durability
 }
 
 func (o LoadOptions) buildOptions() store.BuildOptions {
@@ -274,6 +279,10 @@ type admitController interface {
 // original immutable engine plus one atomic load.
 type Store struct {
 	live *live.Handle
+
+	// wal is the store's write-ahead log when it was opened with
+	// DBOptions.Durability (see Open); nil for volatile stores.
+	wal *wal.Log
 
 	// limiter implements DB-level admission control; a typed-nil value
 	// admits everything. adaptive aliases it when the CoDel controller is
